@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-quick examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-log:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-log:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-quick:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results \
+	       $$(find . -name __pycache__ -type d)

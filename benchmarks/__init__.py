@@ -1,0 +1,17 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+One module per exhibit:
+
+* ``bench_table1_bet_size`` — Table 1 (BET RAM, size-exact);
+* ``bench_table2_extra_erases`` — Table 2 (worst-case extra erases);
+* ``bench_table3_extra_copyings`` — Table 3 (worst-case extra copyings);
+* ``bench_fig5_first_failure`` — Figure 5(a)/(b) (first failure time);
+* ``bench_table4_erase_counts`` — Table 4 (erase-count distribution);
+* ``bench_fig6_extra_erases`` — Figure 6(a)/(b) (erase overhead);
+* ``bench_fig7_extra_copyings`` — Figure 7(a)/(b) (copy overhead);
+* ``bench_ablation_selection`` — sequential vs random block-set pick;
+* ``bench_ablation_bet_resolution`` — BET k trade-off (Section 3.2).
+
+Run with ``pytest benchmarks/ --benchmark-only``; see ``conftest`` for
+the REPRO_BENCH_* environment knobs.
+"""

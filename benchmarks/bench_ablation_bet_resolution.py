@@ -1,0 +1,51 @@
+"""Ablation B: the BET resolution trade-off (paper Section 3.2).
+
+"The larger the value of k, the higher the chance in the overlooking of
+blocks of cold data.  However, a large value for k could help in the
+reducing of the required RAM space."  This bench quantifies both sides on
+the same workload: controller RAM for the BET versus leveling quality
+(erase-count deviation) and SWL activity, as k sweeps 0..3 at fixed T.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import K_VALUES, THRESHOLDS, report
+from repro.analysis.memory import bet_size_bytes
+from repro.util.tables import format_table
+
+
+def test_ablation_bet_resolution(matrix, bench_setup, benchmark):
+    paper_t = THRESHOLDS[0]
+
+    def sweep():
+        return {k: matrix.horizon("ftl", (k, paper_t)) for k in K_VALUES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    num_blocks = bench_setup.geometry.num_blocks
+    rows = []
+    for k, result in results.items():
+        swl_erases = result.swl_stats.get("swl_erases", 0)
+        rows.append(
+            [f"k = {k}",
+             f"{bet_size_bytes(num_blocks, k)}B",
+             round(result.erase_distribution.deviation, 1),
+             result.erase_distribution.maximum,
+             swl_erases]
+        )
+    report("ablation_bet_resolution", format_table(
+        ["BET mode", "BET RAM", "Erase dev.", "Max.", "SWL erases"],
+        rows,
+        title=f"Ablation B: BET resolution at T={paper_t} (FTL)",
+    ))
+    # RAM halves with each k step.
+    for (k_small, k_large) in zip(K_VALUES, K_VALUES[1:]):
+        assert bet_size_bytes(num_blocks, k_large) <= bet_size_bytes(
+            num_blocks, k_small
+        )
+    # The trade-off of Section 3.2: the one-to-one mode levels best; the
+    # coarsest mode overlooks the most cold data (deviation closest to
+    # the baseline's).
+    baseline = matrix.horizon("ftl", None)
+    devs = {k: result.erase_distribution.deviation for k, result in results.items()}
+    assert devs[K_VALUES[0]] < baseline.erase_distribution.deviation
+    assert devs[K_VALUES[0]] <= devs[K_VALUES[-1]]

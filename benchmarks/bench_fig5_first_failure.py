@@ -1,0 +1,96 @@
+"""Regenerates paper Figure 5: the first failure time of FTL and NFTL,
+with and without static wear leveling, over k in {0..3} and T in {100,
+400, 700, 1000}.
+
+Protocol (Section 5.1): a virtually unlimited trace is derived from the
+base trace by resampling random 10-minute segments, and each system runs
+until the first block exceeds its endurance.  The geometry is scaled per
+DESIGN.md (endurance 10,000/SCALE); thresholds are the paper's own.
+
+Expected shape (paper Section 5.2): SWL extends the first failure time of
+both drivers — the paper reports +51.2% for FTL and +87.5% for NFTL at
+T=100, k=0 — with small T beating large T, and NFTL gaining most at small
+k.  Our FTL gains concentrate at k=0: on a 64-block chip, cold data loses
+physical contiguity after one leveling rotation, so one-to-many flags are
+almost always pre-set by a neighbouring hot block (the overlooking effect
+of Section 3.2, amplified by scale); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import K_VALUES, THRESHOLDS, BenchSetup, report
+from repro.sim.metrics import improvement_ratio
+from repro.util.tables import format_table
+
+
+def _fig5_table(matrix, driver: str) -> tuple[list[list[object]], dict]:
+    baseline = matrix.first_failure(driver, None)
+    base_years = baseline.first_failure_years
+    rows: list[list[object]] = [[driver.upper(), round(base_years, 4), "-"]]
+    improvements = {}
+    for paper_t in THRESHOLDS:
+        for k in K_VALUES:
+            result = matrix.first_failure(driver, (k, paper_t))
+            years = result.first_failure_years
+            gain = improvement_ratio(years, base_years)
+            improvements[(k, paper_t)] = gain
+            rows.append(
+                [f"{driver.upper()}+SWL+{BenchSetup.swl_label((k, paper_t))}",
+                 round(years, 4), f"{gain:+.1f}%"]
+            )
+    return rows, improvements
+
+
+def _check_shape(driver: str, improvements: dict) -> None:
+    # The headline claim: SWL at k=0, T=100 extends the first failure
+    # time substantially (paper: +51.2% FTL / +87.5% NFTL).
+    headline = improvements[(0, THRESHOLDS[0])]
+    assert headline > 8.0, f"{driver}: headline gain only {headline:+.1f}%"
+    # SWL must not collapse endurance anywhere in the sweep.
+    assert all(gain > -10.0 for gain in improvements.values()), improvements
+    # Small T (frequent leveling) beats the largest T at k=0, as in the
+    # paper's Figure 5 trend.
+    assert improvements[(0, THRESHOLDS[0])] >= improvements[(0, THRESHOLDS[-1])] - 2.0
+    if driver == "nftl" and 3 in {k for k, _ in improvements}:
+        # Figure 5(b): "good improvement on NFTL was achieved with ... a
+        # small k value".
+        assert improvements[(0, THRESHOLDS[0])] >= improvements[(3, THRESHOLDS[0])]
+
+
+def test_fig5a_ftl_first_failure(matrix, benchmark):
+    rows, improvements = benchmark.pedantic(
+        _fig5_table, args=(matrix, "ftl"), rounds=1, iterations=1
+    )
+    report("fig5a", format_table(
+        ["Configuration", "First failure (years, scaled)", "vs FTL"],
+        rows,
+        title="Figure 5(a): first failure time of FTL",
+    ))
+    _check_shape("ftl", improvements)
+
+
+def test_fig5b_nftl_first_failure(matrix, benchmark):
+    rows, improvements = benchmark.pedantic(
+        _fig5_table, args=(matrix, "nftl"), rounds=1, iterations=1
+    )
+    report("fig5b", format_table(
+        ["Configuration", "First failure (years, scaled)", "vs NFTL"],
+        rows,
+        title="Figure 5(b): first failure time of NFTL",
+    ))
+    _check_shape("nftl", improvements)
+
+
+def test_fig5_nftl_wears_out_before_ftl(matrix, benchmark):
+    """Section 5.2: NFTL's first failure time is far shorter than FTL's
+    (coarse-grained mapping pays whole-block folds for partial updates)."""
+
+    def gap():
+        ftl = matrix.first_failure("ftl", None).first_failure_years
+        nftl = matrix.first_failure("nftl", None).first_failure_years
+        return ftl / nftl
+
+    ratio = benchmark.pedantic(gap, rounds=1, iterations=1)
+    print(f"\nFTL / NFTL baseline first-failure ratio: {ratio:.2f}x "
+          "(paper: ~70x on its NTFS trace; direction must match)")
+    assert ratio > 1.2

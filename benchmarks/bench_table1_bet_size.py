@@ -1,0 +1,45 @@
+"""Regenerates paper Table 1: BET size for SLC flash memory.
+
+"The size of the BET varies, depending on the size of a flash-memory
+storage system and the value of k.  For example, the BET size is 512B for
+a 4GB SLC flash memory with k = 3."  (Section 4.1)
+
+This is a size-exact reproduction: the geometries are the real 128 MB to
+4 GB large-block SLC parts, not scaled stand-ins.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.memory import mlc2_reduction, table1, table1_headers
+from repro.flash.geometry import GIB
+from benchmarks.conftest import report
+from repro.util.tables import format_table
+
+#: The paper's printed cells, row-major (k = 0..3 by capacity ascending).
+PAPER_TABLE1 = [
+    [128, 64, 32, 16],
+    [256, 128, 64, 32],
+    [512, 256, 128, 64],
+    [1024, 512, 256, 128],
+    [2048, 1024, 512, 256],
+    [4096, 2048, 1024, 512],
+]
+
+
+def test_table1_bet_size(benchmark):
+    rows = benchmark(table1)
+    report("table1", format_table(table1_headers(), rows,
+                                  title="Table 1: BET size for SLC flash memory"))
+    # Every cell must match the paper exactly.
+    for row_index, row in enumerate(rows):  # rows are per-k
+        k = row_index
+        for col_index, cell in enumerate(row[1:]):
+            expected = PAPER_TABLE1[col_index][k]
+            assert cell == f"{expected}B", (k, col_index, cell)
+
+
+def test_table1_mlc_reduction(benchmark):
+    ratio = benchmark(mlc2_reduction, 4 * GIB, 3)
+    print(f"\nMLC x2 BET size vs SLC at 4GB, k=3: {ratio:.2f}x "
+          "(Section 4.1: 'much reduced')")
+    assert ratio == 0.5

@@ -1,0 +1,43 @@
+"""Regenerates paper Table 2: worst-case increased ratio of block erases.
+
+Section 4.2 derives the extra block erases caused by static wear leveling
+in the worst case (Figure 4: H-1 hot blocks, C cold blocks, one free
+block) as C / (T*(H+C) - C) for a 1 GB MLC x2 chip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overhead import TABLE2_CONFIGS, table2
+from benchmarks.conftest import report
+from repro.util.tables import format_table
+
+#: Paper-printed percentages, in TABLE2_CONFIGS order.
+PAPER_RATIOS = (0.946, 0.503, 0.094, 0.050)
+
+
+def test_table2_extra_erases(benchmark):
+    rows = benchmark(table2)
+    report("table2", format_table(
+        ["H", "C", "H:C", "T", "Increased Ratio (%)"],
+        rows,
+        title="Table 2: increased ratio of block erases (1GB MLC x2)",
+    ))
+    for row, expected in zip(rows, PAPER_RATIOS):
+        measured = float(str(row[4]).rstrip("%"))
+        assert measured == pytest.approx(expected, abs=0.001)
+
+
+def test_table2_sensitivity_to_threshold(benchmark):
+    """Section 4.2: 'the increased overhead ratio ... is sensitive to the
+    setting of T' — a 10x larger T cuts the ratio ~10x."""
+
+    def sensitivity():
+        small_t = TABLE2_CONFIGS[0].extra_erase_ratio()
+        large_t = TABLE2_CONFIGS[2].extra_erase_ratio()
+        return small_t / large_t
+
+    ratio = benchmark(sensitivity)
+    print(f"\nT=100 vs T=1000 overhead ratio: {ratio:.2f}x")
+    assert 9.0 < ratio < 11.0

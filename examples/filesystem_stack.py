@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The complete Figure 1 stack: files → FAT → FTL → MTD → NAND.
+
+Paper Figure 1 tops the storage stack with "File Systems (e.g., DOS
+FAT)".  This example runs an application-level workload — install a media
+library once, then edit documents and append to logs daily — through the
+bundled FAT-style file system, and shows what the NAND underneath
+experiences with and without the SW Leveler.
+
+The file system is what *creates* the paper's problem: the media files
+become cold data pinned in place, while the allocation table, directory,
+and document clusters churn.
+
+Run:  python examples/filesystem_stack.py    (~1-2 minutes)
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SWLConfig, build_stack
+from repro.analysis.figures import wear_map
+from repro.flash.geometry import FlashGeometry
+from repro.fs.fat import FatFileSystem
+from repro.ftl.blockdev import BlockDevice
+from repro.sim.metrics import EraseDistribution
+from repro.util.tables import render_table
+
+GEOMETRY = FlashGeometry(48, 16, 2048, 100_000, name="fs-demo")
+DAYS = 500
+
+
+def run(with_swl: bool):
+    stack = build_stack(
+        GEOMETRY, "ftl",
+        SWLConfig(threshold=8, k=0) if with_swl else None,
+        store_data=True, rng=random.Random(1),
+    )
+    fs = FatFileSystem(BlockDevice(stack.layer), max_files=32)
+    fs.format()
+    rng = random.Random(9)
+
+    # Day 0: install the media library (the cold data).
+    for index in range(8):
+        fs.write_file(f"movie{index}", rng.randbytes(24_000))
+
+    # Daily life: documents rewritten, logs appended, temp files churned.
+    for day in range(DAYS):
+        fs.write_file("report", rng.randbytes(rng.randrange(2_000, 12_000)))
+        if not fs.exists("app.log"):
+            fs.write_file("app.log", b"")
+        fs.append("app.log", rng.randbytes(512))
+        if fs.stat("app.log").size > 30_000:
+            fs.delete("app.log")
+        fs.write_file("tmp", rng.randbytes(4_000))
+        fs.delete("tmp")
+
+    # The library is still intact down through every layer.
+    assert fs.listdir()[:1] and all(
+        fs.stat(f"movie{index}").size == 24_000 for index in range(8)
+    )
+    return stack
+
+
+def main() -> None:
+    rows = []
+    for label, with_swl in (("baseline", False), ("with SW Leveler", True)):
+        stack = run(with_swl)
+        counts = stack.flash.erase_counts
+        distribution = EraseDistribution.from_counts(counts)
+        rows.append(
+            [f"FTL {label}",
+             round(distribution.average, 1),
+             round(distribution.deviation, 1),
+             distribution.maximum,
+             distribution.minimum]
+        )
+        print(f"--- NAND wear under the file system ({label}) ---")
+        print(wear_map(counts, columns=24))
+        print()
+    render_table(
+        ["Stack", "Avg erases", "Dev", "Max", "Min"],
+        rows,
+        title=f"{DAYS} days of file-system activity on the same chip",
+    )
+    print(
+        "\nThe light rows in the baseline map are the movie files pinning "
+        "their blocks; the SW Leveler pulls them into rotation without the "
+        "file system noticing anything."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment at example scale (Figure 5).
+
+Generates the synthetic mobile-PC trace of Section 5.1 (36.62% of LBAs
+written, 1.82 writes/s, hot data in bursts, a static majority), derives
+the "virtually unlimited" trace by resampling 10-minute segments, and
+measures the first failure time of FTL and NFTL with and without the
+SW Leveler.
+
+Run:  python examples/mobile_pc_endurance.py          (~3-6 minutes)
+      python examples/mobile_pc_endurance.py --fast   (~1 minute)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SWLConfig
+from repro.sim.experiment import (
+    ExperimentSpec,
+    make_workload,
+    run_until_first_failure,
+    scaled_mlc2_geometry,
+    workload_params_for,
+)
+from repro.sim.metrics import improvement_ratio
+from repro.traces.generator import DAY
+from repro.traces.stats import summarize
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    geometry = scaled_mlc2_geometry(32 if fast else 64, scale=10 if fast else 5)
+    probe = ExperimentSpec("ftl", geometry, seed=1)
+    params = workload_params_for(probe, duration=2 * DAY, seed=42)
+    workload = make_workload(params)
+    trace = workload.requests()
+    warmup = workload.prefill_requests()
+
+    summary = summarize(warmup + trace, params.total_sectors)
+    print(
+        f"Base trace: {summary.num_writes} writes, {summary.num_reads} reads, "
+        f"{100 * summary.written_lba_fraction:.2f}% of LBAs written "
+        f"(paper: 36.62%), {summary.write_rate:.2f} writes/s (paper: 1.82)\n"
+    )
+
+    rows = []
+    for driver in ("ftl", "nftl"):
+        baseline = run_until_first_failure(
+            ExperimentSpec(driver, geometry, None, seed=1), trace, warmup=warmup
+        )
+        leveled = run_until_first_failure(
+            ExperimentSpec(driver, geometry, SWLConfig(threshold=100, k=0), seed=1),
+            trace,
+            warmup=warmup,
+        )
+        gain = improvement_ratio(
+            leveled.first_failure_years, baseline.first_failure_years
+        )
+        rows.append(
+            [driver.upper(),
+             round(baseline.first_failure_years, 4),
+             round(leveled.first_failure_years, 4),
+             f"{gain:+.1f}%",
+             round(baseline.erase_distribution.deviation),
+             round(leveled.erase_distribution.deviation)]
+        )
+    render_table(
+        ["Driver", "Baseline first failure (y)", "With SWL (y)",
+         "Improvement", "Dev before", "Dev after"],
+        rows,
+        title="First failure time, scaled chip (paper: +51.2% FTL, +87.5% NFTL)",
+    )
+    print(
+        "\nTimes are simulated years on an endurance-scaled chip; compare "
+        "the improvement percentages and the deviation collapse, not the "
+        "absolute years (see EXPERIMENTS.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""When does static wear leveling pay off?  A workload comparison.
+
+Runs the SW Leveler against four access patterns — the paper's mobile-PC
+mix, uniform random, Zipf-skewed, and an append-only circular log — on
+the same chip, and renders each run's physical wear as a terminal heat
+map.  The rule of thumb it demonstrates: SWL's benefit is proportional to
+how much of the device sits pinned under write-once data, not to how
+skewed the *active* traffic is.
+
+Run:  python examples/workload_comparison.py     (~2-3 minutes)
+"""
+
+from __future__ import annotations
+
+from repro import SWLConfig, build_stack
+from repro.analysis.figures import wear_map
+from repro.flash.geometry import FlashGeometry
+from repro.sim.engine import Simulator, StopCondition
+from repro.sim.metrics import EraseDistribution, improvement_ratio
+from repro.traces.generator import MobilePCWorkload, WorkloadParams
+from repro.traces.synthetic import (
+    SequentialLogWorkload,
+    SyntheticParams,
+    UniformWorkload,
+    ZipfianWorkload,
+)
+from repro.util.tables import render_table
+
+GEOMETRY = FlashGeometry(64, 32, 2048, 300, name="demo-64b")
+SECTORS = 55 * 32 * 4  # the logical space the drivers will export
+
+
+def mobile_pc():
+    params = WorkloadParams(total_sectors=SECTORS, duration=6 * 3600.0, seed=4)
+    workload = MobilePCWorkload(params)
+    return workload.prefill_requests() + workload.requests()
+
+
+def synthetic(factory, pinned: float, **kwargs):
+    params = SyntheticParams(
+        total_sectors=SECTORS, duration=3600.0, write_rate=30.0,
+        pinned_fraction=pinned, seed=4,
+    )
+    workload = factory(params, **kwargs)
+    return workload.prefill_requests() + workload.requests()
+
+
+WORKLOADS = {
+    "mobile-pc (paper)": mobile_pc,
+    "uniform, no pinned data": lambda: synthetic(UniformWorkload, 0.0),
+    "zipf a=1.2, 50% pinned": lambda: synthetic(ZipfianWorkload, 0.5, alpha=1.2),
+    "circular log, 60% pinned": lambda: synthetic(SequentialLogWorkload, 0.6),
+}
+
+
+def run(trace, with_swl: bool):
+    stack = build_stack(
+        GEOMETRY, "ftl",
+        SWLConfig(threshold=20, k=0) if with_swl else None,
+    )
+    simulator = Simulator(stack, skip_reads=True)
+    stop = StopCondition(until_first_failure=True, max_requests=3_000_000)
+
+    def cyclic():  # replay the finite trace cyclically until wear-out
+        offset = 0.0
+        while True:
+            for request in trace:
+                yield type(request)(request.time + offset, request.op,
+                                    request.lba, request.sectors)
+            offset += trace[-1].time + 1.0
+
+    result = simulator.run(cyclic(), stop)
+    return result, stack.flash.erase_counts
+
+
+def main() -> None:
+    rows = []
+    for name, build_trace in WORKLOADS.items():
+        trace = build_trace()
+        baseline, baseline_counts = run(trace, with_swl=False)
+        leveled, _ = run(trace, with_swl=True)
+        gain = improvement_ratio(
+            leveled.first_failure_time or leveled.sim_time,
+            baseline.first_failure_time or baseline.sim_time,
+        )
+        distribution = EraseDistribution.from_counts(baseline_counts)
+        rows.append(
+            [name,
+             round(distribution.deviation),
+             round(leveled.erase_distribution.deviation),
+             f"{gain:+.1f}%"]
+        )
+        print(f"--- {name}: baseline wear map ---")
+        print(wear_map(baseline_counts, columns=32))
+        print()
+    render_table(
+        ["Workload", "Baseline dev.", "Leveled dev.", "SWL lifetime gain"],
+        rows,
+        title="Static wear leveling benefit by workload shape",
+    )
+    print(
+        "\nUniform traffic with nothing pinned gains ~nothing (dynamic wear "
+        "leveling already suffices); the more of the chip sits under "
+        "write-once data, the more lifetime the SW Leveler recovers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments whose pip cannot build editable wheels.
+
+The project is fully described by pyproject.toml; this file only enables
+``python setup.py develop`` / legacy editable installs where the ``wheel``
+package is unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,112 @@
+"""repro — static wear leveling for flash-memory storage systems.
+
+A complete, executable reproduction of
+
+    Yuan-Hao Chang, Jen-Wei Hsieh, Tei-Wei Kuo.
+    "Endurance Enhancement of Flash-Memory Storage Systems:
+     An Efficient Static Wear Leveling Design."  DAC 2007.
+
+The package layers exactly like the paper's Figure 1:
+
+* :mod:`repro.flash` — the NAND chip simulator and MTD layer;
+* :mod:`repro.ftl` — the FTL (page-level) and NFTL (block-level)
+  translation drivers with the greedy Cleaner and dynamic wear leveling;
+* :mod:`repro.core` — the SW Leveler: Block Erasing Table, SWL-Procedure,
+  SWL-BETUpdate (the paper's contribution);
+* :mod:`repro.traces` — the synthetic mobile-PC workload and the
+  10-minute segment resampler of Section 5.1;
+* :mod:`repro.sim` — the trace-replay engine and experiment protocols;
+* :mod:`repro.analysis` — the analytic models of Section 4.
+
+Quickstart
+----------
+>>> from repro import build_stack, SWLConfig, MLC2_TINY
+>>> stack = build_stack(MLC2_TINY, "nftl", SWLConfig(threshold=50, k=0))
+>>> stack.layer.write(0)
+>>> stack.layer.read(0) is None  # payload storage is off by default
+True
+"""
+
+from repro.core import (
+    BetStore,
+    BlockErasingTable,
+    DualPoolLeveler,
+    SWLConfig,
+    SWLeveler,
+    paper_sweep,
+)
+from repro.flash import (
+    MLC2_1GB,
+    MLC2_BENCH,
+    MLC2_TINY,
+    FlashGeometry,
+    MtdDevice,
+    NandFlash,
+    mlc2,
+    slc_large_block,
+    slc_small_block,
+)
+from repro.fs import FatFileSystem
+from repro.ftl import (
+    NFTL,
+    BlockDevice,
+    PageMappingFTL,
+    StorageStack,
+    TranslationLayer,
+    build_stack,
+)
+from repro.sim import (
+    ExperimentSpec,
+    SimResult,
+    Simulator,
+    StopCondition,
+    WearSample,
+    make_base_trace,
+    markdown_report,
+    run_fixed_horizon,
+    run_until_first_failure,
+    workload_params_for,
+)
+from repro.traces import MobilePCWorkload, Op, Request, SegmentResampler, WorkloadParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BetStore",
+    "BlockDevice",
+    "BlockErasingTable",
+    "DualPoolLeveler",
+    "ExperimentSpec",
+    "FatFileSystem",
+    "FlashGeometry",
+    "MLC2_1GB",
+    "MLC2_BENCH",
+    "MLC2_TINY",
+    "MobilePCWorkload",
+    "MtdDevice",
+    "NFTL",
+    "NandFlash",
+    "Op",
+    "PageMappingFTL",
+    "Request",
+    "SWLConfig",
+    "SWLeveler",
+    "SegmentResampler",
+    "SimResult",
+    "Simulator",
+    "StopCondition",
+    "StorageStack",
+    "TranslationLayer",
+    "WearSample",
+    "WorkloadParams",
+    "build_stack",
+    "make_base_trace",
+    "markdown_report",
+    "mlc2",
+    "paper_sweep",
+    "run_fixed_horizon",
+    "run_until_first_failure",
+    "slc_large_block",
+    "slc_small_block",
+    "workload_params_for",
+]

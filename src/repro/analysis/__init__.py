@@ -1,0 +1,55 @@
+"""Analytic models of paper Section 4 and endurance-distribution tools.
+
+:mod:`repro.analysis.memory` regenerates Table 1 (BET RAM requirements);
+:mod:`repro.analysis.overhead` regenerates Tables 2-3 (worst-case extra
+erases and live-page copyings); :mod:`repro.analysis.endurance` adds
+distribution diagnostics and lifetime projection used by the examples.
+"""
+
+from repro.analysis.endurance import (
+    LifetimeProjection,
+    erase_histogram,
+    ideal_leveling_gain,
+    pinned_fraction,
+    project_lifetime,
+    wear_gini,
+)
+from repro.analysis.figures import bar_chart, series_chart, sparkline, wear_map
+from repro.analysis.memory import (
+    bet_size_bytes,
+    bet_size_for,
+    mlc2_reduction,
+    table1,
+    table1_headers,
+)
+from repro.analysis.overhead import (
+    TABLE2_CONFIGS,
+    TABLE3_CONFIGS,
+    TABLE3_PAGES_PER_BLOCK,
+    WorstCaseConfig,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "LifetimeProjection",
+    "TABLE2_CONFIGS",
+    "TABLE3_CONFIGS",
+    "TABLE3_PAGES_PER_BLOCK",
+    "WorstCaseConfig",
+    "bar_chart",
+    "bet_size_bytes",
+    "bet_size_for",
+    "erase_histogram",
+    "ideal_leveling_gain",
+    "mlc2_reduction",
+    "pinned_fraction",
+    "project_lifetime",
+    "series_chart",
+    "sparkline",
+    "table1",
+    "table1_headers",
+    "table2",
+    "table3",
+    "wear_map",
+]

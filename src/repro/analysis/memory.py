@@ -1,0 +1,74 @@
+"""Main-memory (BET size) analysis — paper Section 4.1, Table 1.
+
+"Since one-bit flag is needed for each block set, the BET contributes the
+major main-memory space overheads on the controller."  The BET size is
+``ceil(num_blocks / 2^k / 8)`` bytes; Table 1 tabulates it for SLC flash
+from 128 MB to 4 GB and k = 0..3 (e.g., 512 B for 4 GB SLC at k = 3).
+"""
+
+from __future__ import annotations
+
+from repro.flash.geometry import (
+    TABLE1_SLC_SIZES,
+    FlashGeometry,
+    mlc2,
+    slc_large_block,
+)
+
+
+def bet_size_bytes(num_blocks: int, k: int) -> int:
+    """RAM bytes for a BET covering ``num_blocks`` at resolution ``k``."""
+    if num_blocks <= 0:
+        raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    flags = (num_blocks + (1 << k) - 1) >> k
+    return (flags + 7) // 8
+
+
+def bet_size_for(geometry: FlashGeometry, k: int) -> int:
+    """BET bytes for a concrete chip geometry."""
+    return bet_size_bytes(geometry.num_blocks, k)
+
+
+def table1(
+    capacities: tuple[int, ...] = TABLE1_SLC_SIZES,
+    k_values: tuple[int, ...] = (0, 1, 2, 3),
+) -> list[list[object]]:
+    """Regenerate paper Table 1: BET bytes per SLC capacity and k.
+
+    Rows are k values; columns are capacities.  The paper's numbers assume
+    large-block SLC (2 KB pages, 64 pages/block: a 128 MB chip has 1,024
+    blocks, hence 128 B at k = 0).
+    """
+    rows: list[list[object]] = []
+    for k in k_values:
+        row: list[object] = [f"k = {k}"]
+        for capacity in capacities:
+            geometry = slc_large_block(capacity)
+            row.append(f"{bet_size_for(geometry, k)}B")
+        rows.append(row)
+    return rows
+
+
+def table1_headers(
+    capacities: tuple[int, ...] = TABLE1_SLC_SIZES,
+) -> list[str]:
+    """Header row matching :func:`table1` (capacity labels)."""
+    labels = []
+    for capacity in capacities:
+        mib = capacity // (1024 * 1024)
+        labels.append(f"{mib}MB" if mib < 1024 else f"{mib // 1024}GB")
+    return ["", *labels]
+
+
+def mlc2_reduction(capacity: int, k: int) -> float:
+    """BET size ratio of MLC×2 versus large-block SLC at equal capacity.
+
+    Section 4.1: "When MLC flash memory is adopted, the BET size will be
+    much reduced" — MLC×2 blocks are twice as large (128 vs 64 pages), so
+    the table halves.
+    """
+    slc = bet_size_for(slc_large_block(capacity), k)
+    mlc = bet_size_for(mlc2(capacity), k)
+    return mlc / slc

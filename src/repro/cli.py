@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the library's main workflows without writing code:
+
+``generate-trace``
+    Synthesize a mobile-PC trace (Section 5.1 statistics) to a file.
+``simulate``
+    Replay a trace file (or a freshly generated one) against a chosen
+    stack and print the wear report.
+``sweep``
+    Run the paper's k x T first-failure sweep for one driver and print a
+    Figure 5-style table.
+
+Every command accepts ``--seed`` and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.core.config import SWLConfig
+from repro.sim.experiment import (
+    ExperimentSpec,
+    make_workload,
+    run_until_first_failure,
+    scaled_mlc2_geometry,
+    workload_params_for,
+)
+from repro.sim.metrics import improvement_ratio
+from repro.sim.reporting import save_report
+from repro.traces.generator import DAY, WorkloadParams
+from repro.traces.io import load_trace, save_trace
+from repro.traces.stats import summarize
+from repro.util.tables import format_table
+
+
+def _add_stack_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--driver", choices=("ftl", "nftl"), default="nftl",
+                        help="translation layer (default: nftl)")
+    parser.add_argument("--blocks", type=int, default=64,
+                        help="simulated chip size in blocks (default: 64)")
+    parser.add_argument("--scale", type=int, default=5,
+                        help="endurance scale: cycles = 10000/scale (default: 5)")
+    parser.add_argument("--threshold", "-T", type=float, default=100.0,
+                        help="SWL unevenness threshold T (default: 100)")
+    parser.add_argument("--k", type=int, default=0,
+                        help="BET resolution exponent k (default: 0)")
+    parser.add_argument("--no-swl", action="store_true",
+                        help="run the baseline without static wear leveling")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Static wear leveling for flash storage (DAC 2007 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate-trace", help="synthesize a mobile-PC trace to a file"
+    )
+    generate.add_argument("output", help="output path (.csv or binary)")
+    generate.add_argument("--sectors", type=int, default=262_144,
+                          help="LBA space in 512B sectors (default: 262144)")
+    generate.add_argument("--days", type=float, default=1.0,
+                          help="trace duration in days (default: 1)")
+    generate.add_argument("--seed", type=int, default=0, help="master seed")
+
+    simulate = commands.add_parser(
+        "simulate", help="replay a trace against a stack and report wear"
+    )
+    simulate.add_argument("--trace", help="trace file; omit to synthesize one")
+    simulate.add_argument("--days", type=float, default=1.0,
+                          help="generated-trace duration in days (default: 1)")
+    _add_stack_arguments(simulate)
+
+    sweep = commands.add_parser(
+        "sweep", help="run the paper's k x T first-failure sweep (Figure 5)"
+    )
+    sweep.add_argument("--thresholds", type=float, nargs="+",
+                       default=[100, 1000], help="T values (default: 100 1000)")
+    sweep.add_argument("--ks", type=int, nargs="+", default=[0],
+                       help="k values (default: 0)")
+    sweep.add_argument("--report", metavar="PATH",
+                       help="also write a markdown report to PATH")
+    _add_stack_arguments(sweep)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _command_generate(args: argparse.Namespace) -> int:
+    params = WorkloadParams(
+        total_sectors=args.sectors, duration=args.days * DAY, seed=args.seed
+    )
+    workload = make_workload(params)
+    trace = workload.prefill_requests() + workload.requests()
+    count = save_trace(args.output, trace)
+    summary = summarize(trace, params.total_sectors)
+    print(f"wrote {count} requests to {args.output}")
+    print(f"  written LBA coverage: {100 * summary.written_lba_fraction:.2f}%")
+    print(f"  write rate: {summary.write_rate:.2f}/s, "
+          f"read rate: {summary.read_rate:.2f}/s")
+    return 0
+
+
+def _spec(args: argparse.Namespace) -> ExperimentSpec:
+    geometry = scaled_mlc2_geometry(args.blocks, scale=args.scale)
+    swl = None if args.no_swl else SWLConfig(threshold=args.threshold, k=args.k)
+    return ExperimentSpec(args.driver, geometry, swl, seed=args.seed)
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    if args.trace:
+        trace = load_trace(args.trace)
+        warmup = None
+    else:
+        params = workload_params_for(
+            spec, duration=args.days * DAY, seed=args.seed + 1
+        )
+        workload = make_workload(params)
+        trace = workload.requests()
+        warmup = workload.prefill_requests()
+    result = run_until_first_failure(spec, trace, warmup=warmup)
+    distribution = result.erase_distribution
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["configuration", result.label],
+            ["first failure (simulated days)",
+             round((result.first_failure_time or 0.0) / DAY, 3)],
+            ["total block erases", result.total_erases],
+            ["live-page copies", result.live_page_copies],
+            ["erase avg / dev / max",
+             f"{distribution.average:.0f} / {distribution.deviation:.0f} / "
+             f"{distribution.maximum}"],
+        ],
+        title="Simulation report",
+    ))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    params = workload_params_for(spec, duration=1.0 * DAY, seed=args.seed + 1)
+    workload = make_workload(params)
+    trace = workload.requests()
+    warmup = workload.prefill_requests()
+    baseline_spec = replace(spec, swl=None)
+    baseline = run_until_first_failure(baseline_spec, trace, warmup=warmup)
+    results = [baseline]
+    rows: list[list[object]] = [
+        [baseline.label, round(baseline.first_failure_time / DAY, 3), "-"]
+    ]
+    for threshold in args.thresholds:
+        for k in args.ks:
+            point = replace(spec, swl=SWLConfig(threshold=threshold, k=k))
+            result = run_until_first_failure(point, trace, warmup=warmup)
+            results.append(result)
+            gain = improvement_ratio(
+                result.first_failure_time, baseline.first_failure_time
+            )
+            rows.append(
+                [result.label, round(result.first_failure_time / DAY, 3),
+                 f"{gain:+.1f}%"]
+            )
+    print(format_table(
+        ["Configuration", "First failure (days)", "vs baseline"],
+        rows,
+        title=f"First-failure sweep, {args.driver.upper()} "
+              f"({args.blocks} blocks, endurance {10_000 // args.scale})",
+    ))
+    if args.report:
+        save_report(
+            args.report, results,
+            title=f"{args.driver.upper()} first-failure sweep",
+        )
+        print(f"\nmarkdown report written to {args.report}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate-trace": _command_generate,
+        "simulate": _command_simulate,
+        "sweep": _command_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The paper's primary contribution: the static wear leveling mechanism.
+
+* :mod:`repro.core.bet` — the Block Erasing Table (Section 3.2) and its
+  dual-buffer persistent store.
+* :mod:`repro.core.leveler` — the SW Leveler running SWL-Procedure and
+  SWL-BETUpdate (Section 3.3, Algorithms 1-2).
+* :mod:`repro.core.policies` — block-set selection and trigger policies.
+* :mod:`repro.core.config` — declarative configuration and the paper's
+  (k, T) sweep.
+"""
+
+from repro.core.alternatives import DualPoolLeveler, DualPoolStats
+from repro.core.bet import BetStore, BlockErasingTable
+from repro.core.config import (
+    DISABLED,
+    PAPER_K_VALUES,
+    PAPER_THRESHOLDS,
+    SWLConfig,
+    paper_sweep,
+)
+from repro.core.leveler import SWLeveler, SWLStats, WearLevelingHost
+from repro.core.policies import (
+    EveryNRequestsTrigger,
+    OnEraseTrigger,
+    PeriodicTrigger,
+    RandomSelection,
+    SelectionPolicy,
+    SequentialSelection,
+    TriggerPolicy,
+    make_selection_policy,
+)
+
+__all__ = [
+    "BetStore",
+    "BlockErasingTable",
+    "DISABLED",
+    "DualPoolLeveler",
+    "DualPoolStats",
+    "EveryNRequestsTrigger",
+    "OnEraseTrigger",
+    "PAPER_K_VALUES",
+    "PAPER_THRESHOLDS",
+    "PeriodicTrigger",
+    "RandomSelection",
+    "SWLConfig",
+    "SWLStats",
+    "SWLeveler",
+    "SelectionPolicy",
+    "SequentialSelection",
+    "TriggerPolicy",
+    "WearLevelingHost",
+    "make_selection_policy",
+    "paper_sweep",
+]

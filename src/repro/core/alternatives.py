@@ -1,0 +1,164 @@
+"""Alternative static wear-leveling mechanisms, for comparison.
+
+The paper positions its BET-based SW Leveler against prior art it cites
+but does not evaluate: A. Ban's patent "Wear leveling of static areas in
+flash memory" (US 6,732,221, reference [10]) and M-Systems' TrueFFS
+mechanism [16].  Those designs track *erase counts per block* in
+controller RAM and trigger a cold-block move when the wear spread exceeds
+a threshold — precise, but with a RAM cost the paper's one-bit-per-set
+BET undercuts by 16-32x.
+
+:class:`DualPoolLeveler` implements that classic counter-based design so
+the trade-off can be measured (``bench_ablation_mechanism``): equal or
+better leveling quality, at ``num_blocks * 4`` bytes of RAM versus the
+BET's ``num_blocks / 8 / 2^k``.
+
+The class is a drop-in for :class:`~repro.core.leveler.SWLeveler` at the
+driver boundary: same ``on_block_erased`` / ``on_request`` /
+``suspend`` / ``resume`` surface, same
+:class:`~repro.core.leveler.WearLevelingHost` usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.leveler import WearLevelingHost
+
+
+@dataclass
+class DualPoolStats:
+    """Activity counters of the counter-based leveler."""
+
+    checks: int = 0
+    swaps: int = 0             #: cold-block evictions performed
+    swl_erases: int = 0        #: erases attributable to leveling
+    swl_copies: int = 0        #: copies attributable to leveling
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "checks": self.checks,
+            "swaps": self.swaps,
+            "swl_erases": self.swl_erases,
+            "swl_copies": self.swl_copies,
+        }
+
+
+class DualPoolLeveler:
+    """Counter-based static wear leveling (Ban-patent style).
+
+    Keeps the full per-block erase-count array (shared with the chip) and,
+    every ``check_period`` erases, evicts the data sitting on the
+    least-worn block whenever the wear spread ``max - min`` reaches
+    ``delta`` — pulling the coldest block into the write rotation.
+
+    Parameters
+    ----------
+    erase_counts:
+        Live per-block erase-count list (the chip's own array).
+    host:
+        The translation-layer driver (``WearLevelingHost``).
+    delta:
+        Wear-spread trigger: act when ``max(counts) - min(counts) >= delta``.
+    check_period:
+        Erases between trigger evaluations (amortizes the O(n) scan).
+    batch:
+        Cold blocks evicted per triggered check.
+    """
+
+    def __init__(
+        self,
+        erase_counts: list[int],
+        host: WearLevelingHost,
+        *,
+        delta: int = 32,
+        check_period: int = 64,
+        batch: int = 1,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        if check_period <= 0:
+            raise ValueError(f"check_period must be positive, got {check_period}")
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        self.erase_counts = erase_counts
+        self.host = host
+        self.delta = delta
+        self.check_period = check_period
+        self.batch = batch
+        self.stats = DualPoolStats()
+        self._erases_since_check = 0
+        self._suspended = 0
+        self._deferred = False
+        self._in_procedure = False
+
+    # ------------------------------------------------------------------
+    # Driver-boundary surface (mirrors SWLeveler)
+    # ------------------------------------------------------------------
+    @property
+    def ram_bytes(self) -> int:
+        """Controller RAM this mechanism needs: 4 bytes per block.
+
+        Contrast with the BET (paper Table 1): one bit per 2^k blocks.
+        """
+        return 4 * len(self.erase_counts)
+
+    def on_block_erased(self, block: int) -> None:
+        if self._in_procedure:
+            return
+        self._erases_since_check += 1
+        if self._erases_since_check < self.check_period:
+            return
+        if self._suspended:
+            self._deferred = True
+            return
+        self._erases_since_check = 0
+        self._maybe_level()
+
+    def on_request(self, now: float | None = None) -> None:
+        """Kept for interface parity; this design is erase-driven only."""
+
+    def suspend(self) -> None:
+        self._suspended += 1
+
+    def resume(self) -> None:
+        if self._suspended <= 0:
+            raise RuntimeError("resume() without a matching suspend()")
+        self._suspended -= 1
+        if self._suspended == 0 and self._deferred:
+            self._deferred = False
+            self._erases_since_check = 0
+            self._maybe_level()
+
+    # ------------------------------------------------------------------
+    def _maybe_level(self) -> None:
+        self.stats.checks += 1
+        counts = self.erase_counts
+        if max(counts) - min(counts) < self.delta:
+            return
+        self._in_procedure = True
+        try:
+            for _ in range(self.batch):
+                coldest = min(range(len(counts)), key=counts.__getitem__)
+                if max(counts) - counts[coldest] < self.delta:
+                    return
+                erases_before, copies_before = self.host.swl_cost_probe()
+                recycled = self.host.recycle_block_range(
+                    range(coldest, coldest + 1)
+                )
+                erases_after, copies_after = self.host.swl_cost_probe()
+                self.stats.swl_erases += erases_after - erases_before
+                self.stats.swl_copies += copies_after - copies_before
+                if not recycled:
+                    # The coldest block was free: the host promoted it into
+                    # the rotation; wear will catch up without an erase.
+                    return
+                self.stats.swaps += 1
+        finally:
+            self._in_procedure = False
+
+    def __repr__(self) -> str:
+        return (
+            f"DualPoolLeveler(delta={self.delta}, "
+            f"period={self.check_period}, ram={self.ram_bytes}B)"
+        )

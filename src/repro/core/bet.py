@@ -1,0 +1,283 @@
+"""The Block Erasing Table (BET) — paper Section 3.2.
+
+The BET remembers "which block has been erased in a pre-determined time
+frame, referred to as the *resetting interval*, so as to locate blocks of
+cold data".  It is a bit array in which each flag covers a set of ``2^k``
+physically contiguous blocks:
+
+* ``k = 0`` — one-to-one mode (Figure 3(a)): one flag per block;
+* ``k > 0`` — one-to-many mode (Figure 3(b)): one flag per ``2^k`` blocks,
+  set when *any* block of the set is erased.  Larger ``k`` shrinks the
+  controller RAM footprint (Table 1) at the cost of occasionally
+  overlooking cold blocks that share a set with hot ones.
+
+Alongside the flags, two counters are maintained (Section 3.3): ``ecnt``,
+the total number of block erases since the last reset, and ``fcnt``, the
+number of 1-flags.  Their ratio ``ecnt / fcnt`` is the *unevenness level*
+that triggers SWL-Procedure.
+
+Persistence (Section 3.2): the table is saved at shutdown and reloaded at
+attach; crash resistance uses the "popular dual buffer concept", provided
+here by :class:`BetStore`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.util.bitarray import BitArray
+
+
+class BlockErasingTable:
+    """Erase-history bit array with the ``ecnt`` / ``fcnt`` counters.
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of physical blocks covered.
+    k:
+        Set-size exponent: each flag covers ``2^k`` contiguous blocks.
+        Must be ``>= 0`` (paper Section 3.2).
+
+    Examples
+    --------
+    >>> bet = BlockErasingTable(num_blocks=8, k=1)
+    >>> bet.record_erase(5)        # SWL-BETUpdate for block 5
+    True
+    >>> bet.is_set(bet.flag_index(4)), bet.ecnt, bet.fcnt
+    (True, 1, 1)
+    """
+
+    def __init__(self, num_blocks: int, k: int = 0) -> None:
+        if num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        set_size = 1 << k
+        if set_size > num_blocks:
+            raise ValueError(
+                f"2^k = {set_size} exceeds the number of blocks ({num_blocks}); "
+                "the BET would degenerate to a single flag covering everything"
+            )
+        self.num_blocks = num_blocks
+        self.k = k
+        self._flags = BitArray((num_blocks + set_size - 1) >> k)
+        #: Total block erases since the last reset (Algorithm 2, step 1).
+        self.ecnt = 0
+        #: Number of 1-flags in the table (Algorithm 2, step 4).
+        self.fcnt = 0
+        #: Completed resetting intervals (diagnostic; not in the paper).
+        self.resets = 0
+
+    # ------------------------------------------------------------------
+    # Geometry between blocks and flags
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of flags — ``size(BET)`` in Algorithm 1."""
+        return len(self._flags)
+
+    @property
+    def nbytes(self) -> int:
+        """Controller RAM for the flag array (paper Table 1)."""
+        return self._flags.nbytes
+
+    def flag_index(self, block: int) -> int:
+        """Flag covering ``block``: ``floor(block / 2^k)`` (Algorithm 2)."""
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(f"block {block} out of range [0, {self.num_blocks})")
+        return block >> self.k
+
+    def blocks_in_set(self, findex: int) -> range:
+        """Physical blocks covered by flag ``findex`` (may be a short tail)."""
+        if not 0 <= findex < self.size:
+            raise IndexError(f"flag index {findex} out of range [0, {self.size})")
+        start = findex << self.k
+        return range(start, min(start + (1 << self.k), self.num_blocks))
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 — SWL-BETUpdate
+    # ------------------------------------------------------------------
+    def record_erase(self, block: int) -> bool:
+        """Account one erase of ``block``; returns ``True`` on a 0-to-1 flip.
+
+        This is Algorithm 2 verbatim: ``ecnt`` always increases; the flag
+        ``BET[block >> k]`` is set, and ``fcnt`` increases only when the
+        flag was previously zero.
+        """
+        self.ecnt += 1
+        flipped = self._flags.set(self.flag_index(block))
+        if flipped:
+            self.fcnt += 1
+        return flipped
+
+    def mark_handled(self, findex: int) -> bool:
+        """Set flag ``findex`` without counting an erase.
+
+        Used when SWL-Procedure selects a block set whose blocks are all
+        free: erasing already-erased blocks would add wear for nothing, so
+        the set is marked as handled for this resetting interval instead
+        (see DESIGN.md, deviations).  Returns ``True`` on a 0-to-1 flip.
+        """
+        flipped = self._flags.set(findex)
+        if flipped:
+            self.fcnt += 1
+        return flipped
+
+    # ------------------------------------------------------------------
+    # Queries used by Algorithm 1
+    # ------------------------------------------------------------------
+    def is_set(self, findex: int) -> bool:
+        return self._flags[findex]
+
+    def unevenness(self) -> float:
+        """The unevenness level ``ecnt / fcnt`` (``0.0`` when ``fcnt == 0``).
+
+        Algorithm 1 returns immediately when ``fcnt == 0`` (step 1), so the
+        value reported for an empty table is never compared to ``T``.
+        """
+        if self.fcnt == 0:
+            return 0.0
+        return self.ecnt / self.fcnt
+
+    def all_flags_set(self) -> bool:
+        """Reset condition of Algorithm 1 step 3 (``fcnt >= size(BET)``)."""
+        return self.fcnt >= self.size
+
+    def next_zero_flag(self, start: int) -> int | None:
+        """Cyclic scan for the next zero flag (Algorithm 1, steps 9-10)."""
+        return self._flags.next_zero(start % self.size)
+
+    def zero_flags(self) -> list[int]:
+        """Flag indices still zero (candidate cold block sets)."""
+        return self._flags.zero_indices()
+
+    def reset(self) -> None:
+        """Start a new resetting interval (Algorithm 1, steps 4-7)."""
+        self._flags.reset()
+        self.ecnt = 0
+        self.fcnt = 0
+        self.resets += 1
+
+    # ------------------------------------------------------------------
+    # Persistence (Section 3.2)
+    # ------------------------------------------------------------------
+    _HEADER = struct.Struct("<4sIIQQQ")  # magic, num_blocks, k, ecnt, fcnt, seq
+    _MAGIC = b"BET1"
+
+    def to_bytes(self, *, sequence: int = 0) -> bytes:
+        """Serialize flags and counters with a CRC32 trailer.
+
+        ``sequence`` is a monotonically increasing save counter used by
+        :class:`BetStore` to pick the newest of the two buffers.
+        """
+        header = self._HEADER.pack(
+            self._MAGIC, self.num_blocks, self.k, self.ecnt, self.fcnt, sequence
+        )
+        body = header + self._flags.to_bytes()
+        return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> tuple["BlockErasingTable", int]:
+        """Rebuild a table saved by :meth:`to_bytes`.
+
+        Returns ``(table, sequence)``.  Raises ``ValueError`` on any
+        corruption (bad magic, CRC, geometry, or counter inconsistency) so
+        the dual-buffer loader can fall back to the other copy.
+        """
+        if len(raw) < cls._HEADER.size + 4:
+            raise ValueError("BET image truncated")
+        body, (crc,) = raw[:-4], struct.unpack("<I", raw[-4:])
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise ValueError("BET image CRC mismatch")
+        magic, num_blocks, k, ecnt, fcnt, sequence = cls._HEADER.unpack(
+            body[: cls._HEADER.size]
+        )
+        if magic != cls._MAGIC:
+            raise ValueError(f"bad BET magic {magic!r}")
+        table = cls(num_blocks, k)
+        table._flags = BitArray.from_bytes(body[cls._HEADER.size:], table.size)
+        table.ecnt = ecnt
+        table.fcnt = fcnt
+        if table._flags.popcount() != fcnt:
+            raise ValueError(
+                f"BET counter fcnt={fcnt} disagrees with "
+                f"{table._flags.popcount()} set flags"
+            )
+        return table, sequence
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockErasingTable(blocks={self.num_blocks}, k={self.k}, "
+            f"flags={self.size}, ecnt={self.ecnt}, fcnt={self.fcnt})"
+        )
+
+
+@dataclass
+class _Slot:
+    data: bytes | None = None
+
+
+class BetStore:
+    """Dual-buffer persistent store for the BET (paper Section 3.2).
+
+    "The crash resistance of the BET information in the storage system
+    could be provided by the popular dual buffer concept": saves alternate
+    between two slots, each self-validating (CRC + sequence number), so a
+    crash mid-save leaves at most one corrupt slot and the loader falls
+    back to "any existing correct version".
+
+    The default backend keeps the slots in memory; pass ``paths`` (two file
+    paths) to persist across processes.
+    """
+
+    def __init__(self, paths: tuple[str, str] | None = None) -> None:
+        self._paths = paths
+        self._slots = (_Slot(), _Slot())
+        self._sequence = 0
+
+    # -- backend -------------------------------------------------------
+    def _write_slot(self, index: int, data: bytes) -> None:
+        if self._paths is None:
+            self._slots[index].data = data
+        else:
+            with open(self._paths[index], "wb") as handle:
+                handle.write(data)
+
+    def _read_slot(self, index: int) -> bytes | None:
+        if self._paths is None:
+            return self._slots[index].data
+        try:
+            with open(self._paths[index], "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    # -- API ------------------------------------------------------------
+    def save(self, table: BlockErasingTable) -> None:
+        """Write ``table`` to the older of the two slots."""
+        self._sequence += 1
+        self._write_slot(self._sequence % 2, table.to_bytes(sequence=self._sequence))
+
+    def load(self) -> BlockErasingTable | None:
+        """Return the newest valid saved table, or ``None`` if none exists.
+
+        Corrupt slots are skipped silently: Section 3.2 argues stale BET
+        contents are acceptable "as long as we do not skip too many times
+        in the shutdown of the flash-memory storage system".
+        """
+        best: tuple[int, BlockErasingTable] | None = None
+        for index in range(2):
+            raw = self._read_slot(index)
+            if raw is None:
+                continue
+            try:
+                table, sequence = BlockErasingTable.from_bytes(raw)
+            except ValueError:
+                continue
+            if best is None or sequence > best[0]:
+                best = (sequence, table)
+                self._sequence = max(self._sequence, sequence)
+        return None if best is None else best[1]

@@ -1,0 +1,106 @@
+"""Configuration record for the SW Leveler.
+
+Bundles the paper's two tunables — the unevenness threshold ``T``
+(Section 3.3) and the BET resolution exponent ``k`` (Section 3.2) — plus
+the policy choices, into one value that experiment sweeps can enumerate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.leveler import SWLeveler, WearLevelingHost
+from repro.core.policies import (
+    EveryNRequestsTrigger,
+    OnEraseTrigger,
+    PeriodicTrigger,
+    TriggerPolicy,
+    make_selection_policy,
+)
+
+#: The sweeps of paper Section 5 (Figures 5-7, Table 4).
+PAPER_THRESHOLDS = (100, 400, 700, 1000)
+PAPER_K_VALUES = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class SWLConfig:
+    """Declarative SW Leveler configuration.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` produces the paper's baseline (plain FTL / NFTL).
+    threshold:
+        Unevenness-level threshold ``T``.
+    k:
+        BET set-size exponent (one flag per ``2^k`` blocks).
+    selection:
+        ``"sequential"`` (paper) or ``"random"`` (ablation).
+    trigger:
+        ``"on-erase"`` (default), ``"every-n-requests"``, or ``"periodic"``.
+    trigger_param:
+        ``n`` for the request trigger, ``period`` seconds for the timer.
+    """
+
+    enabled: bool = True
+    threshold: float = 100.0
+    k: int = 0
+    selection: str = "sequential"
+    trigger: str = "on-erase"
+    trigger_param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.enabled and self.threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {self.threshold}")
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+
+    def label(self) -> str:
+        """Row label in the paper's style, e.g. ``SWL+k=0+T=100``."""
+        if not self.enabled:
+            return "baseline"
+        return f"SWL+k={self.k}+T={int(self.threshold)}"
+
+    def _make_trigger(self) -> TriggerPolicy:
+        if self.trigger == "on-erase":
+            return OnEraseTrigger()
+        if self.trigger == "every-n-requests":
+            return EveryNRequestsTrigger(int(self.trigger_param))
+        if self.trigger == "periodic":
+            return PeriodicTrigger(self.trigger_param)
+        raise ValueError(f"unknown trigger policy {self.trigger!r}")
+
+    def build(
+        self,
+        num_blocks: int,
+        host: WearLevelingHost,
+        *,
+        rng: random.Random | None = None,
+    ) -> SWLeveler | None:
+        """Instantiate the leveler, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        return SWLeveler(
+            num_blocks,
+            host,
+            threshold=self.threshold,
+            k=self.k,
+            selection=make_selection_policy(self.selection),
+            trigger=self._make_trigger(),
+            rng=rng,
+        )
+
+
+#: Baseline (no static wear leveling) configuration.
+DISABLED = SWLConfig(enabled=False)
+
+
+def paper_sweep() -> list[SWLConfig]:
+    """All (k, T) combinations evaluated in paper Figures 5-7."""
+    return [
+        SWLConfig(threshold=t, k=k)
+        for k in PAPER_K_VALUES
+        for t in PAPER_THRESHOLDS
+    ]

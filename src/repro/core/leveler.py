@@ -1,0 +1,298 @@
+"""The SW Leveler — paper Section 3.3, Algorithms 1 and 2.
+
+The SW Leveler sits beside the Allocator and the Cleaner of a Flash
+Translation Layer driver (Figure 1).  It owns a
+:class:`~repro.core.bet.BlockErasingTable` and two procedures:
+
+* **SWL-BETUpdate** (:meth:`SWLeveler.on_block_erased`) — invoked by the
+  Cleaner on every block erase; updates ``ecnt``, ``fcnt`` and the flags.
+* **SWL-Procedure** (:meth:`SWLeveler.run_procedure`) — invoked when the
+  unevenness level ``ecnt / fcnt`` reaches the threshold ``T``; walks the
+  cyclic cursor ``findex`` to zero-flag block sets and asks the Cleaner to
+  garbage collect them, forcing cold data to move, until either the
+  unevenness level drops below ``T`` or every flag is set (then the BET is
+  reset, ``findex`` is re-seeded randomly, and a new resetting interval
+  starts).
+
+The leveler is FTL-agnostic: it talks to the translation layer only
+through the :class:`WearLevelingHost` protocol, so the same object serves
+FTL, NFTL, or any future mapping scheme — the paper's stated modularity
+goal ("without many modifications to popular implementation designs").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.bet import BetStore, BlockErasingTable
+from repro.core.policies import (
+    OnEraseTrigger,
+    SelectionPolicy,
+    SequentialSelection,
+    TriggerPolicy,
+)
+from repro.util.rng import make_rng
+
+
+class WearLevelingHost(Protocol):
+    """What the SW Leveler needs from a Flash Translation Layer driver."""
+
+    def recycle_block_range(self, blocks: range) -> int:
+        """Garbage collect every block in ``blocks`` (EraseBlockSet).
+
+        Valid (cold) data in those blocks must be copied elsewhere and the
+        blocks erased; address translation is updated "as the original
+        design of a Flash Translation Layer driver" (Section 3.1).  Returns
+        the number of blocks in ``blocks`` actually recycled; free blocks
+        need not be touched (they hold no cold data).
+        """
+        ...
+
+    def swl_cost_probe(self) -> tuple[int, int]:
+        """Current cumulative ``(block_erases, live_page_copies)``.
+
+        Sampled around each forced recycle to attribute overhead to static
+        wear leveling (the quantities behind paper Figures 6 and 7).
+        """
+        ...
+
+
+@dataclass
+class SWLStats:
+    """Bookkeeping of everything the SW Leveler did."""
+
+    procedure_runs: int = 0        #: SWL-Procedure invocations that did work
+    procedure_checks: int = 0      #: times the trigger condition was evaluated
+    forced_recycles: int = 0       #: EraseBlockSet calls that recycled something
+    direct_marks: int = 0          #: free block sets flagged without an erase
+    swl_erases: int = 0            #: block erases attributable to SWL
+    swl_copies: int = 0            #: live-page copies attributable to SWL
+    bet_resets: int = 0            #: completed resetting intervals
+    findex_history: list[int] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "procedure_runs": self.procedure_runs,
+            "procedure_checks": self.procedure_checks,
+            "forced_recycles": self.forced_recycles,
+            "direct_marks": self.direct_marks,
+            "swl_erases": self.swl_erases,
+            "swl_copies": self.swl_copies,
+            "bet_resets": self.bet_resets,
+        }
+
+
+class SWLeveler:
+    """Static wear leveler (SW Leveler) for a Flash Translation Layer.
+
+    Parameters
+    ----------
+    num_blocks:
+        Physical blocks managed (BET coverage).
+    host:
+        The translation-layer driver, via :class:`WearLevelingHost`.
+    threshold:
+        The unevenness-level threshold ``T``.  SWL-Procedure engages while
+        ``ecnt / fcnt >= T`` (paper sweeps T over {100, 400, 700, 1000}).
+    k:
+        BET set-size exponent (paper sweeps k over {0, 1, 2, 3}).
+    selection:
+        Block-set selection policy; the paper's sequential cyclic scan by
+        default.
+    trigger:
+        When to evaluate the threshold; after every erase by default.
+    rng:
+        Randomness source for the post-reset ``findex`` re-seed
+        (Algorithm 1, step 6); seeded deterministically when omitted.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        host: WearLevelingHost,
+        *,
+        threshold: float = 100.0,
+        k: int = 0,
+        selection: SelectionPolicy | None = None,
+        trigger: TriggerPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold T must be positive, got {threshold}")
+        self.host = host
+        self.threshold = threshold
+        self.bet = BlockErasingTable(num_blocks, k)
+        self.selection = selection or SequentialSelection()
+        self.trigger = trigger or OnEraseTrigger()
+        self.rng = rng or make_rng()
+        #: Cyclic scan cursor of Algorithm 1 ("the index in the selection
+        #: of a block set for static wear leveling").
+        self.findex = 0
+        self.stats = SWLStats()
+        self._in_procedure = False
+        self._suspended = 0
+        self._deferred_check = False
+        self._requests_seen = 0
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # Host-facing notifications
+    # ------------------------------------------------------------------
+    def on_block_erased(self, block: int) -> None:
+        """SWL-BETUpdate (Algorithm 2) plus the trigger-policy check.
+
+        The Cleaner invokes this on *every* block erase, including erases
+        the leveler itself caused; re-entrant procedure runs are suppressed
+        so forced recycles update the BET without recursing.
+        """
+        self.bet.record_erase(block)
+        if self._in_procedure:
+            return
+        if self.trigger.should_check(
+            erases=self.bet.ecnt, requests=self._requests_seen, now=self._now
+        ):
+            if self._suspended:
+                self._deferred_check = True
+            else:
+                self.maybe_run()
+
+    def suspend(self) -> None:
+        """Defer procedure runs (the host is inside its own GC/merge).
+
+        BET updates continue; the threshold check is remembered and
+        re-evaluated at :meth:`resume` so no trigger is lost.  Calls nest.
+        """
+        self._suspended += 1
+
+    def resume(self) -> None:
+        """Re-enable procedure runs and replay any deferred trigger check."""
+        if self._suspended <= 0:
+            raise RuntimeError("resume() without a matching suspend()")
+        self._suspended -= 1
+        if self._suspended == 0 and self._deferred_check:
+            self._deferred_check = False
+            self.maybe_run()
+
+    def on_request(self, now: float | None = None) -> None:
+        """Advance request/time counters for request- and timer-triggers."""
+        self._requests_seen += 1
+        if now is not None:
+            self._now = now
+        if not isinstance(self.trigger, OnEraseTrigger) and not self._in_procedure:
+            if self.trigger.should_check(
+                erases=self.bet.ecnt, requests=self._requests_seen, now=self._now
+            ):
+                if self._suspended:
+                    self._deferred_check = True
+                else:
+                    self.maybe_run()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — SWL-Procedure
+    # ------------------------------------------------------------------
+    def maybe_run(self) -> bool:
+        """Run SWL-Procedure if the unevenness level warrants it.
+
+        Returns ``True`` when the procedure performed at least one forced
+        recycle or a BET reset.
+        """
+        self.stats.procedure_checks += 1
+        if self.bet.fcnt == 0:                       # Alg. 1, step 1
+            return False
+        if self.bet.unevenness() < self.threshold:
+            return False
+        return self.run_procedure()
+
+    def run_procedure(self) -> bool:
+        """SWL-Procedure (Algorithm 1), unconditionally entered.
+
+        Levels block sets until the unevenness level drops below ``T`` or
+        the BET fills and resets.  Returns ``True`` if anything was done.
+        """
+        if self.bet.fcnt == 0:                       # step 1
+            return False
+        self._in_procedure = True
+        did_work = False
+        try:
+            while self.bet.unevenness() >= self.threshold:      # step 2
+                if self.bet.all_flags_set():                    # step 3
+                    self._reset_interval()                      # steps 4-7
+                    did_work = True
+                    return did_work                             # step 8
+                target = self.selection.select(self.bet, self.findex, self.rng)
+                if target is None:
+                    # Defensive: cannot happen while fcnt < size(BET).
+                    self._reset_interval()
+                    did_work = True
+                    return did_work
+                self.findex = target                            # steps 9-10
+                self._erase_block_set(target)                   # step 11
+                did_work = True
+                self.findex = (target + 1) % self.bet.size      # step 12
+        finally:
+            self._in_procedure = False
+            if did_work:
+                self.stats.procedure_runs += 1
+        return did_work
+
+    def _reset_interval(self) -> None:
+        """Steps 4-7 of Algorithm 1: reset counters, flags, and ``findex``."""
+        self.bet.reset()
+        self.findex = self.rng.randrange(self.bet.size)
+        self.stats.bet_resets = self.bet.resets
+
+    def _erase_block_set(self, findex: int) -> None:
+        """Step 11: request garbage collection over the selected block set.
+
+        Overhead deltas around the call are attributed to static wear
+        leveling.  If the host recycled nothing (the set was entirely free
+        blocks) the flag is set directly so the scan makes progress — see
+        DESIGN.md for the rationale of this deviation.
+        """
+        erases_before, copies_before = self.host.swl_cost_probe()
+        recycled = self.host.recycle_block_range(self.bet.blocks_in_set(findex))
+        erases_after, copies_after = self.host.swl_cost_probe()
+        self.stats.swl_erases += erases_after - erases_before
+        self.stats.swl_copies += copies_after - copies_before
+        self.stats.findex_history.append(findex)
+        if recycled:
+            self.stats.forced_recycles += 1
+        if not self.bet.is_set(findex):
+            self.bet.mark_handled(findex)
+            self.stats.direct_marks += 1
+
+    # ------------------------------------------------------------------
+    # Persistence (Section 3.2 / 3.3 system parameters)
+    # ------------------------------------------------------------------
+    def persist(self, store: BetStore) -> None:
+        """Save the BET (flags + ``ecnt`` + ``fcnt``) to a dual-buffer store."""
+        store.save(self.bet)
+
+    def restore(self, store: BetStore) -> bool:
+        """Reload the newest valid BET image, keeping current ``k`` geometry.
+
+        Returns ``True`` on success.  A stale image is acceptable
+        (Section 3.3: the counters "could tolerate some errors"); an image
+        for a different geometry is rejected.
+        """
+        loaded = store.load()
+        if loaded is None:
+            return False
+        if loaded.num_blocks != self.bet.num_blocks or loaded.k != self.bet.k:
+            return False
+        loaded.resets = self.bet.resets
+        self.bet = loaded
+        return True
+
+    @property
+    def unevenness(self) -> float:
+        """Current unevenness level ``ecnt / fcnt``."""
+        return self.bet.unevenness()
+
+    def __repr__(self) -> str:
+        return (
+            f"SWLeveler(T={self.threshold}, k={self.bet.k}, "
+            f"unevenness={self.unevenness:.1f}, findex={self.findex})"
+        )

@@ -1,0 +1,161 @@
+"""Pluggable SW Leveler policies.
+
+Two policy axes from the paper's Section 3:
+
+* **Selection** — how SWL-Procedure picks the next cold block set.  The
+  paper uses a sequential cyclic scan from ``findex`` (Algorithm 1, steps
+  9-10) and argues it "is close to that in a random selection policy in
+  reality because cold data could virtually exist in any block".  We
+  provide both so the claim can be tested (ablation bench A).
+
+* **Trigger** — when SWL-Procedure is invoked.  Section 3.1: "a thread or
+  a procedure triggered by a timer or the Allocator/Cleaner based on some
+  preset conditions".  The default checks the unevenness level after every
+  erase (the Cleaner-triggered variant); alternatives check every N
+  requests or on a simulated-time period.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.core.bet import BlockErasingTable
+
+
+# ----------------------------------------------------------------------
+# Selection policies (which zero-flag set to level next)
+# ----------------------------------------------------------------------
+class SelectionPolicy(ABC):
+    """Chooses the next block set for static wear leveling."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(
+        self, bet: BlockErasingTable, findex: int, rng: random.Random
+    ) -> int | None:
+        """Return the flag index to level next, or ``None`` if all are set.
+
+        ``findex`` is the leveler's cyclic cursor position (the value left
+        by the previous iteration).
+        """
+
+
+class SequentialSelection(SelectionPolicy):
+    """The paper's policy: advance ``findex`` cyclically to the next 0 flag.
+
+    Sequential scanning is cheap to implement on a controller (a single
+    cursor) and, per Section 3.3, behaves like random selection because
+    cold data can sit anywhere in the physical address space.
+    """
+
+    name = "sequential"
+
+    def select(
+        self, bet: BlockErasingTable, findex: int, rng: random.Random
+    ) -> int | None:
+        return bet.next_zero_flag(findex)
+
+
+class RandomSelection(SelectionPolicy):
+    """Ablation policy: pick a uniformly random zero flag.
+
+    Costs O(size(BET)) per pick (it must enumerate the zero flags), which
+    is why the paper prefers the sequential scan; behaviourally the two
+    should match (bench ``bench_ablation_selection``).
+    """
+
+    name = "random"
+
+    def select(
+        self, bet: BlockErasingTable, findex: int, rng: random.Random
+    ) -> int | None:
+        zeros = bet.zero_flags()
+        if not zeros:
+            return None
+        return rng.choice(zeros)
+
+
+_SELECTION_POLICIES = {
+    SequentialSelection.name: SequentialSelection,
+    RandomSelection.name: RandomSelection,
+}
+
+
+def make_selection_policy(name: str) -> SelectionPolicy:
+    """Instantiate a selection policy by name (``sequential`` / ``random``)."""
+    try:
+        return _SELECTION_POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown selection policy {name!r}; "
+            f"choose from {sorted(_SELECTION_POLICIES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Trigger policies (when to evaluate the unevenness level)
+# ----------------------------------------------------------------------
+class TriggerPolicy(ABC):
+    """Decides when the leveler should evaluate ``ecnt/fcnt >= T``."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def should_check(self, *, erases: int, requests: int, now: float) -> bool:
+        """``True`` when SWL-Procedure should be considered right now.
+
+        Parameters are cumulative counters/clock maintained by the caller:
+        total erases seen, total host requests served, simulated time.
+        """
+
+
+class OnEraseTrigger(TriggerPolicy):
+    """Check after every block erase (the Cleaner-triggered variant).
+
+    This is the reference behaviour: SWL-BETUpdate runs on each erase and
+    the unevenness level can only change when ``ecnt`` or ``fcnt`` does.
+    """
+
+    name = "on-erase"
+
+    def should_check(self, *, erases: int, requests: int, now: float) -> bool:
+        return True
+
+
+class EveryNRequestsTrigger(TriggerPolicy):
+    """Check once every ``n`` host requests (the Allocator-driven variant)."""
+
+    name = "every-n-requests"
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self._last_bucket = -1
+
+    def should_check(self, *, erases: int, requests: int, now: float) -> bool:
+        bucket = requests // self.n
+        if bucket != self._last_bucket:
+            self._last_bucket = bucket
+            return True
+        return False
+
+
+class PeriodicTrigger(TriggerPolicy):
+    """Check once every ``period`` seconds of simulated time (timer thread)."""
+
+    name = "periodic"
+
+    def __init__(self, period: float) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self._next_check = 0.0
+
+    def should_check(self, *, erases: int, requests: int, now: float) -> bool:
+        if now >= self._next_check:
+            self._next_check = now + self.period
+            return True
+        return False

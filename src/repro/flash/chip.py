@@ -1,0 +1,300 @@
+"""Behavioural NAND flash chip simulator.
+
+Models exactly the properties the paper's experiments depend on:
+
+* a chip is an array of erase blocks, each a fixed number of pages
+  (Section 1);
+* reads and programs are page operations, erase is a block operation;
+* a programmed page cannot be reprogrammed until its block is erased
+  (the out-place-update constraint that creates the wear-leveling problem);
+* every block has a rated erase endurance; the first block to exceed it
+  defines the *first failure time* (Section 5.1), and — matching the
+  paper's Table 4 methodology — the chip keeps operating after wear-out
+  unless ``fail_stop`` is requested;
+* each page carries a small spare-area record (the logical address tag and
+  status of Figure 2(a)).
+
+Data payloads are optional: wear-leveling behaviour depends only on page
+*state*, so by default the simulator tracks states and spare data without
+storing user bytes.  Tests that verify end-to-end data integrity enable
+``store_data``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.flash.errors import AddressError, ProgramError, WearOutError
+from repro.flash.geometry import FlashGeometry
+
+# Page states, stored one byte per page.
+PAGE_FREE = 0
+PAGE_VALID = 1
+PAGE_INVALID = 2
+
+_STATE_NAMES = {PAGE_FREE: "free", PAGE_VALID: "valid", PAGE_INVALID: "invalid"}
+
+
+@dataclass(frozen=True)
+class FirstFailure:
+    """Record of the first block wear-out event on a chip."""
+
+    block: int
+    erase_ordinal: int  # chip-wide erase count at the moment of failure
+    erase_count: int    # the failing block's own count (== endurance + 1)
+
+
+@dataclass
+class OpCounters:
+    """Cumulative operation counts for one chip."""
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+
+    def snapshot(self) -> "OpCounters":
+        return OpCounters(self.reads, self.programs, self.erases)
+
+
+class NandFlash:
+    """Simulated NAND chip.
+
+    Parameters
+    ----------
+    geometry:
+        Chip organization (:class:`~repro.flash.geometry.FlashGeometry`).
+    fail_stop:
+        When ``True``, erasing a block beyond its endurance raises
+        :class:`~repro.flash.errors.WearOutError`.  Default ``False``:
+        the event is recorded (:attr:`first_failure`, :attr:`worn_blocks`)
+        and the simulation continues, as in the paper's Table 4 runs.
+    store_data:
+        When ``True``, page payloads are stored and returned by
+        :meth:`read`; otherwise reads return ``None`` payloads.
+    enforce_sequential_program:
+        When ``True``, pages within a block must be programmed in ascending
+        order (a real MLC constraint).  NFTL's primary blocks legitimately
+        program pages out of order (Figure 2(b)), so this defaults to
+        ``False``; FTL-only setups may enable it as an extra invariant.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        *,
+        fail_stop: bool = False,
+        store_data: bool = False,
+        enforce_sequential_program: bool = False,
+    ) -> None:
+        self.geometry = geometry
+        self.fail_stop = fail_stop
+        self.store_data = store_data
+        self.enforce_sequential_program = enforce_sequential_program
+
+        total_pages = geometry.total_pages
+        self._num_blocks = geometry.num_blocks
+        self._ppb = geometry.pages_per_block
+        self._states = bytearray(total_pages)            # PAGE_FREE
+        self._spare_lba = [-1] * total_pages             # logical tag per page
+        self._block_tags: dict[int, str] = {}            # erase-unit headers
+        self._data: dict[int, bytes] = {}                # page index -> payload
+        self.erase_counts = [0] * geometry.num_blocks
+        self.counters = OpCounters()
+        self.worn_blocks: set[int] = set()
+        self.first_failure: FirstFailure | None = None
+        self._erase_listeners: list[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Address validation
+    # ------------------------------------------------------------------
+    def _check_block(self, block: int) -> None:
+        if not self.geometry.contains_block(block):
+            raise AddressError(
+                f"block {block} out of range [0, {self.geometry.num_blocks})",
+                block=block,
+            )
+
+    def _check_page(self, block: int, page: int) -> int:
+        # Hot path: one flattened bounds test instead of two range checks.
+        if 0 <= page < self._ppb and 0 <= block < self._num_blocks:
+            return block * self._ppb + page
+        raise AddressError(
+            f"page ({block}, {page}) out of range for geometry "
+            f"{self.geometry.name}",
+            block=block,
+            page=page,
+        )
+
+    # ------------------------------------------------------------------
+    # Primitive operations
+    # ------------------------------------------------------------------
+    def read(self, block: int, page: int) -> tuple[int, bytes | None]:
+        """Read one page; returns ``(spare_lba, payload)``.
+
+        ``spare_lba`` is -1 for a free page.  ``payload`` is ``None``
+        unless ``store_data`` is enabled and the page holds data.
+        """
+        index = self._check_page(block, page)
+        self.counters.reads += 1
+        return self._spare_lba[index], self._data.get(index)
+
+    def program(
+        self,
+        block: int,
+        page: int,
+        *,
+        lba: int,
+        data: bytes | None = None,
+    ) -> None:
+        """Program one free page with a logical tag and optional payload.
+
+        Raises :class:`ProgramError` on overwrite of a non-free page, and on
+        out-of-order programming when ``enforce_sequential_program`` is set.
+        """
+        index = self._check_page(block, page)
+        if self._states[index] != PAGE_FREE:
+            raise ProgramError(
+                f"page ({block}, {page}) is {_STATE_NAMES[self._states[index]]}; "
+                "NAND pages must be erased before reprogramming",
+                block=block,
+                page=page,
+            )
+        if self.enforce_sequential_program and page > 0:
+            prev = self.geometry.page_index(block, page - 1)
+            if self._states[prev] == PAGE_FREE:
+                raise ProgramError(
+                    f"page ({block}, {page}) programmed before page "
+                    f"({block}, {page - 1}); sequential order required",
+                    block=block,
+                    page=page,
+                )
+        self._states[index] = PAGE_VALID
+        self._spare_lba[index] = lba
+        if self.store_data and data is not None:
+            self._data[index] = bytes(data)
+        self.counters.programs += 1
+
+    def invalidate(self, block: int, page: int) -> None:
+        """Mark a valid page invalid (out-place update of its logical data)."""
+        index = self._check_page(block, page)
+        if self._states[index] != PAGE_VALID:
+            raise ProgramError(
+                f"cannot invalidate page ({block}, {page}): it is "
+                f"{_STATE_NAMES[self._states[index]]}",
+                block=block,
+                page=page,
+            )
+        self._states[index] = PAGE_INVALID
+
+    def erase(self, block: int) -> None:
+        """Erase one block, freeing all of its pages and bumping wear.
+
+        Records the first wear-out event; raises only in ``fail_stop`` mode.
+        Erase listeners run after the erase completes (the Cleaner uses one
+        to trigger SWL-BETUpdate).
+        """
+        self._check_block(block)
+        self.erase_counts[block] += 1
+        self.counters.erases += 1
+        if self.erase_counts[block] > self.geometry.endurance:
+            if block not in self.worn_blocks:
+                self.worn_blocks.add(block)
+                if self.first_failure is None:
+                    self.first_failure = FirstFailure(
+                        block=block,
+                        erase_ordinal=self.counters.erases,
+                        erase_count=self.erase_counts[block],
+                    )
+            if self.fail_stop:
+                raise WearOutError(
+                    f"block {block} exceeded endurance "
+                    f"{self.geometry.endurance}",
+                    block=block,
+                )
+        start = block * self.geometry.pages_per_block
+        stop = start + self.geometry.pages_per_block
+        for index in range(start, stop):
+            self._states[index] = PAGE_FREE
+            self._spare_lba[index] = -1
+            self._data.pop(index, None)
+        self._block_tags.pop(block, None)
+        for listener in self._erase_listeners:
+            listener(block)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def add_erase_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with the block number on every erase."""
+        self._erase_listeners.append(listener)
+
+    def remove_erase_listener(self, listener: Callable[[int], None]) -> None:
+        self._erase_listeners.remove(listener)
+
+    def set_block_tag(self, block: int, tag: str) -> None:
+        """Write a small erase-unit header for ``block``.
+
+        Real translation layers stamp each allocated erase unit with its
+        role (e.g. NFTL's unit header carrying the virtual unit number),
+        stored in the spare area of the block's first page; attach-time
+        scans read it back.  Cleared by erase.
+        """
+        self._check_block(block)
+        self._block_tags[block] = tag
+
+    def block_tag(self, block: int) -> str | None:
+        """The erase-unit header of ``block``, or ``None`` when unset."""
+        self._check_block(block)
+        return self._block_tags.get(block)
+
+    def page_state(self, block: int, page: int) -> int:
+        """State constant of one page (PAGE_FREE / PAGE_VALID / PAGE_INVALID)."""
+        return self._states[self._check_page(block, page)]
+
+    def page_lba(self, block: int, page: int) -> int:
+        """Spare-area logical tag of one page (-1 when free)."""
+        return self._spare_lba[self._check_page(block, page)]
+
+    def block_page_states(self, block: int) -> bytes:
+        """States of every page in ``block`` as a bytes object."""
+        self._check_block(block)
+        start = block * self.geometry.pages_per_block
+        return bytes(self._states[start:start + self.geometry.pages_per_block])
+
+    def count_pages(self, block: int, state: int) -> int:
+        """Number of pages of ``block`` in the given state."""
+        return self.block_page_states(block).count(state)
+
+    def valid_pages(self, block: int) -> list[int]:
+        """Page offsets within ``block`` that currently hold valid data."""
+        states = self.block_page_states(block)
+        return [page for page, s in enumerate(states) if s == PAGE_VALID]
+
+    def is_block_free(self, block: int) -> bool:
+        """``True`` when every page of ``block`` is free (fully erased)."""
+        states = self.block_page_states(block)
+        return states.count(PAGE_FREE) == len(states)
+
+    # ------------------------------------------------------------------
+    # Wear statistics
+    # ------------------------------------------------------------------
+    def max_erase_count(self) -> int:
+        return max(self.erase_counts)
+
+    def min_erase_count(self) -> int:
+        return min(self.erase_counts)
+
+    def total_erases(self) -> int:
+        return self.counters.erases
+
+    def remaining_life(self, block: int) -> int:
+        """Erase cycles left before ``block`` wears out (may be negative)."""
+        self._check_block(block)
+        return self.geometry.endurance - self.erase_counts[block]
+
+    def __repr__(self) -> str:
+        return (
+            f"NandFlash({self.geometry.name}, blocks={self.geometry.num_blocks}, "
+            f"erases={self.counters.erases}, worn={len(self.worn_blocks)})"
+        )

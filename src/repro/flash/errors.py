@@ -1,0 +1,67 @@
+"""Exception hierarchy for the NAND flash simulator.
+
+All simulator errors derive from :class:`FlashError` so that callers can
+catch anything flash-related with one clause, while tests can assert on the
+precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class FlashError(Exception):
+    """Base class for every error raised by the flash subsystem."""
+
+
+class AddressError(FlashError):
+    """A block or page address is outside the chip's geometry."""
+
+    def __init__(self, message: str, *, block: int | None = None, page: int | None = None) -> None:
+        super().__init__(message)
+        self.block = block
+        self.page = page
+
+
+class ProgramError(FlashError):
+    """An illegal program (write) operation.
+
+    NAND pages cannot be overwritten in place: a programmed page must be
+    erased (at block granularity) before it can be programmed again.  MLC
+    parts additionally require pages within a block to be programmed in
+    ascending order.  Both violations raise this error.
+    """
+
+    def __init__(self, message: str, *, block: int, page: int) -> None:
+        super().__init__(message)
+        self.block = block
+        self.page = page
+
+
+class EraseError(FlashError):
+    """An erase operation failed (only in ``fail_stop`` wear-out mode)."""
+
+    def __init__(self, message: str, *, block: int) -> None:
+        super().__init__(message)
+        self.block = block
+
+
+class WearOutError(EraseError):
+    """A block exceeded its rated erase endurance in ``fail_stop`` mode.
+
+    The paper's endurance metric is the *first failure time* — the first
+    time any block wears out.  By default the chip only records that event
+    (matching the paper's Table 4 methodology, which keeps simulating after
+    wear-out); with ``fail_stop=True`` the erase raises this error instead.
+    """
+
+
+class OutOfSpaceError(FlashError):
+    """A translation layer ran out of free blocks and GC could not help.
+
+    This indicates the logical space is too large for the physical space
+    (over-provisioning too small) or a leak in block accounting — both are
+    bugs in the caller's configuration, not transient conditions.
+    """
+
+
+class TranslationError(FlashError):
+    """An LBA is out of the logical range exported by a translation layer."""

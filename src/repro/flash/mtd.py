@@ -1,0 +1,106 @@
+"""Memory Technology Device (MTD) layer.
+
+Paper Figure 1 places an MTD driver between the Flash Translation Layer and
+the raw flash: it "provide[s] primitive functions, such as read, write, and
+erase over flash memory".  This class is that layer for the simulator: a
+thin pass-through to :class:`~repro.flash.chip.NandFlash` that additionally
+accumulates device-busy time from a :class:`~repro.flash.timing.TimingModel`
+and exposes operation counters, so higher layers never touch the chip
+object directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.flash.chip import NandFlash, OpCounters
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import TimingModel, timing_for
+
+
+class MtdDevice:
+    """Primitive read/write/erase interface over one NAND chip.
+
+    Parameters
+    ----------
+    flash:
+        The chip to drive, or ``None`` to create one from ``geometry``.
+    geometry:
+        Required when ``flash`` is ``None``.
+    timing:
+        Latency model; defaults to the chip's cell-type defaults.
+    """
+
+    def __init__(
+        self,
+        flash: NandFlash | None = None,
+        *,
+        geometry: FlashGeometry | None = None,
+        timing: TimingModel | None = None,
+        **chip_kwargs: bool,
+    ) -> None:
+        if flash is None:
+            if geometry is None:
+                raise ValueError("either a flash chip or a geometry is required")
+            flash = NandFlash(geometry, **chip_kwargs)
+        elif chip_kwargs:
+            raise ValueError("chip kwargs are only valid when MTD creates the chip")
+        self.flash = flash
+        self.geometry = flash.geometry
+        self.timing = timing or timing_for(flash.geometry)
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Primitive operations (paper Figure 1: read / write / erase)
+    # ------------------------------------------------------------------
+    def read_page(self, block: int, page: int) -> tuple[int, bytes | None]:
+        """Read one page; returns ``(spare_lba, payload)``."""
+        self.busy_time += self.timing.read_page
+        return self.flash.read(block, page)
+
+    def write_page(
+        self, block: int, page: int, *, lba: int, data: bytes | None = None
+    ) -> None:
+        """Program one page."""
+        self.busy_time += self.timing.program_page
+        self.flash.program(block, page, lba=lba, data=data)
+
+    def erase_block(self, block: int) -> None:
+        """Erase one block (~1.5 ms on MLC×2 per the paper's datasheet)."""
+        self.busy_time += self.timing.erase_block
+        self.flash.erase(block)
+
+    def invalidate_page(self, block: int, page: int) -> None:
+        """Mark a page's data superseded (a spare-area status update)."""
+        self.flash.invalidate(block, page)
+
+    def copy_page(
+        self, src: tuple[int, int], dst: tuple[int, int]
+    ) -> None:
+        """Live-page copy: read ``src``, program ``dst``, invalidate ``src``.
+
+        This is the unit the paper counts as one *live-page copying*
+        (Section 4.3); callers count copies themselves so that FTL merges
+        and SWL moves are attributed to the right cause.
+        """
+        lba, data = self.read_page(*src)
+        self.write_page(*dst, lba=lba, data=data)
+        self.invalidate_page(*src)
+
+    # ------------------------------------------------------------------
+    # Observation pass-throughs
+    # ------------------------------------------------------------------
+    def add_erase_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a per-erase callback (the SW Leveler's update hook)."""
+        self.flash.add_erase_listener(listener)
+
+    @property
+    def counters(self) -> OpCounters:
+        return self.flash.counters
+
+    @property
+    def erase_counts(self) -> list[int]:
+        return self.flash.erase_counts
+
+    def __repr__(self) -> str:
+        return f"MtdDevice({self.flash!r}, busy={self.busy_time:.3f}s)"

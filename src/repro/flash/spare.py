@@ -1,0 +1,68 @@
+"""Spare-area record encoding.
+
+Figure 2(a) of the paper shows each flash page split into a *user area* and
+a *spare area* holding ``LBA``, ``ECC`` and ``Status`` fields; FTL rebuilds
+its RAM translation table from these records at attach time.  The chip
+simulator stores the logical tag natively, but persistence features (BET
+save/load, attach-time table rebuild in the examples) need a concrete byte
+layout — provided here, together with a CRC in place of the full ECC.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from enum import IntEnum
+
+_FORMAT = struct.Struct("<iBxxxI")  # lba: int32, status: uint8, pad, crc: uint32
+
+#: Encoded record size in bytes; fits the 16-byte spare of a 512 B page.
+RECORD_SIZE = _FORMAT.size
+
+
+class PageStatus(IntEnum):
+    """Spare-area status byte."""
+
+    FREE = 0xFF      # erased NAND reads all-ones
+    LIVE = 0x0F      # programmed, data current
+    DEAD = 0x00      # superseded by a newer copy
+
+
+@dataclass(frozen=True)
+class SpareRecord:
+    """Decoded spare-area content of one page."""
+
+    lba: int
+    status: PageStatus
+
+    def encode(self) -> bytes:
+        """Serialize to :data:`RECORD_SIZE` bytes with a CRC32 checksum."""
+        body = struct.pack("<iB", self.lba, int(self.status))
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        return _FORMAT.pack(self.lba, int(self.status), crc)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "SpareRecord":
+        """Parse bytes produced by :meth:`encode`.
+
+        Raises ``ValueError`` on wrong length, bad CRC, or an unknown
+        status byte — the conditions an attach-time scan must tolerate.
+        """
+        if len(raw) != RECORD_SIZE:
+            raise ValueError(
+                f"spare record must be {RECORD_SIZE} bytes, got {len(raw)}"
+            )
+        lba, status_byte, crc = _FORMAT.unpack(raw)
+        body = struct.pack("<iB", lba, status_byte)
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise ValueError("spare record CRC mismatch")
+        try:
+            status = PageStatus(status_byte)
+        except ValueError as exc:
+            raise ValueError(f"unknown page status byte 0x{status_byte:02x}") from exc
+        return cls(lba=lba, status=status)
+
+
+#: Record representing an erased page (all fields at their erased values).
+FREE_RECORD = SpareRecord(lba=-1, status=PageStatus.FREE)

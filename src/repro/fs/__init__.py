@@ -1,0 +1,29 @@
+"""Minimal FAT-style file system — the top of the paper's Figure 1 stack.
+
+Paper Figure 1 places "File Systems (e.g., DOS FAT)" above the Flash
+Translation Layer; this package provides that layer so the whole stack
+``application → file system → FTL → MTD → NAND`` can be exercised
+end-to-end with realistic file-level workloads (hot allocation-table and
+directory sectors over colder file data — the exact pattern that creates
+the wear-leveling problem).
+
+:class:`~repro.fs.fat.FatFileSystem` is deliberately FAT-shaped and
+deliberately small: a superblock, a 16-bit allocation table, a flat root
+directory, and cluster-chained files.
+"""
+
+from repro.fs.fat import (
+    DirectoryEntry,
+    FatFileSystem,
+    FileSystemError,
+    FileSystemFullError,
+    FileNotFoundFsError,
+)
+
+__all__ = [
+    "DirectoryEntry",
+    "FatFileSystem",
+    "FileNotFoundFsError",
+    "FileSystemError",
+    "FileSystemFullError",
+]

@@ -1,0 +1,373 @@
+"""A minimal FAT-style file system over a :class:`BlockDevice`.
+
+Structure on disk (all sizes in 512-byte sectors):
+
+====================  =========================================
+sector 0              superblock (magic, geometry, region map)
+FAT region            16-bit cluster chain table, one entry per
+                      data cluster (0 free, 0xFFFF end-of-chain)
+root directory        fixed array of 32-byte entries (flat
+                      namespace, like the FAT12 root directory)
+data region           clusters of ``sectors_per_cluster`` sectors
+====================  =========================================
+
+Every metadata mutation writes through to the device immediately
+(write-through, no volatile cache), so the FAT and directory sectors are
+rewritten constantly while file payloads are written once — the classic
+file-system access pattern whose cold tail motivates static wear leveling.
+
+The implementation favours clarity over speed: it is a workload engine
+for the storage stack, not a production file system.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.ftl.blockdev import SECTOR_SIZE, BlockDevice
+
+_MAGIC = b"SWLF"
+_SUPER = struct.Struct("<4sIIIIII")   # magic, total, fat_start, fat_sectors,
+                                      # dir_start, dir_sectors, data_start
+_DIRENT = struct.Struct("<11sBIHxx10x")  # name, flags, size, first cluster
+DIRENT_SIZE = _DIRENT.size            # 32 bytes
+_FAT_FREE = 0x0000
+_FAT_EOF = 0xFFFF
+_FLAG_USED = 0x01
+
+
+class FileSystemError(Exception):
+    """Base class for file-system failures."""
+
+
+class FileSystemFullError(FileSystemError):
+    """No free cluster or directory slot remains."""
+
+
+class FileNotFoundFsError(FileSystemError):
+    """Named file does not exist."""
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """One root-directory record."""
+
+    name: str
+    size: int
+    first_cluster: int
+
+
+def _encode_name(name: str) -> bytes:
+    raw = name.encode("ascii", errors="strict")
+    if not 1 <= len(raw) <= 11:
+        raise FileSystemError(
+            f"file name must be 1-11 ASCII characters, got {name!r}"
+        )
+    if "\x00" in name:
+        raise FileSystemError("file name may not contain NUL")
+    return raw.ljust(11, b"\x00")
+
+
+class FatFileSystem:
+    """Flat-namespace FAT-style file system.
+
+    Parameters
+    ----------
+    device:
+        The sector block device (over FTL or NFTL).
+    sectors_per_cluster:
+        Allocation granularity; the default of 4 sectors equals one 2 KB
+        flash page.
+    max_files:
+        Root-directory capacity.
+
+    Use :meth:`format` once, then the file API; :meth:`mount` re-reads all
+    metadata from the device (e.g., after simulated power loss).
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        *,
+        sectors_per_cluster: int = 4,
+        max_files: int = 64,
+    ) -> None:
+        if sectors_per_cluster < 1:
+            raise ValueError("sectors_per_cluster must be >= 1")
+        if max_files < 1:
+            raise ValueError("max_files must be >= 1")
+        self.device = device
+        self.sectors_per_cluster = sectors_per_cluster
+        self.cluster_bytes = sectors_per_cluster * SECTOR_SIZE
+        self.max_files = max_files
+        self._fat: list[int] = []
+        self._entries: list[DirectoryEntry | None] = []
+        self._mounted = False
+        self._layout()
+
+    # ------------------------------------------------------------------
+    # On-disk layout
+    # ------------------------------------------------------------------
+    def _layout(self) -> None:
+        total = self.device.num_sectors
+        dir_sectors = -(-self.max_files * DIRENT_SIZE // SECTOR_SIZE)
+        # Solve for the FAT size: each data cluster needs 2 FAT bytes.
+        overhead_guess = 1 + dir_sectors
+        remaining = total - overhead_guess
+        if remaining <= self.sectors_per_cluster:
+            raise FileSystemError(
+                f"device too small ({total} sectors) for this layout"
+            )
+        clusters = remaining * SECTOR_SIZE // (
+            self.sectors_per_cluster * SECTOR_SIZE + 2
+        )
+        fat_sectors = -(-clusters * 2 // SECTOR_SIZE)
+        self.fat_start = 1
+        self.fat_sectors = fat_sectors
+        self.dir_start = self.fat_start + fat_sectors
+        self.dir_sectors = dir_sectors
+        self.data_start = self.dir_start + dir_sectors
+        self.num_clusters = (total - self.data_start) // self.sectors_per_cluster
+        if self.num_clusters < 1:
+            raise FileSystemError("no room for data clusters")
+
+    # ------------------------------------------------------------------
+    # Format / mount
+    # ------------------------------------------------------------------
+    def format(self) -> None:
+        """Initialize all on-disk structures (destroys existing content)."""
+        super_block = _SUPER.pack(
+            _MAGIC, self.device.num_sectors, self.fat_start, self.fat_sectors,
+            self.dir_start, self.dir_sectors, self.data_start,
+        ).ljust(SECTOR_SIZE, b"\x00")
+        self.device.write_sectors(0, super_block)
+        zero = b"\x00" * SECTOR_SIZE
+        for sector in range(self.fat_start, self.data_start):
+            self.device.write_sectors(sector, zero)
+        self._fat = [_FAT_FREE] * self.num_clusters
+        self._entries = [None] * self.max_files
+        self._mounted = True
+
+    def mount(self) -> None:
+        """Load the superblock, FAT, and directory from the device."""
+        raw = self.device.read_sectors(0)
+        magic, total, fat_start, fat_sectors, dir_start, dir_sectors, data_start = (
+            _SUPER.unpack(raw[: _SUPER.size])
+        )
+        if magic != _MAGIC:
+            raise FileSystemError("no file system found (bad magic)")
+        if total != self.device.num_sectors:
+            raise FileSystemError(
+                f"superblock sized for {total} sectors, device has "
+                f"{self.device.num_sectors}"
+            )
+        self.fat_start, self.fat_sectors = fat_start, fat_sectors
+        self.dir_start, self.dir_sectors = dir_start, dir_sectors
+        self.data_start = data_start
+        self.num_clusters = (
+            self.device.num_sectors - data_start
+        ) // self.sectors_per_cluster
+        fat_raw = self.device.read_sectors(self.fat_start, self.fat_sectors)
+        self._fat = list(
+            struct.unpack(f"<{self.num_clusters}H", fat_raw[: 2 * self.num_clusters])
+        )
+        self._entries = []
+        dir_raw = self.device.read_sectors(self.dir_start, self.dir_sectors)
+        for index in range(self.max_files):
+            chunk = dir_raw[index * DIRENT_SIZE:(index + 1) * DIRENT_SIZE]
+            name_raw, flags, size, first = _DIRENT.unpack(chunk)
+            if flags & _FLAG_USED:
+                name = name_raw.rstrip(b"\x00").decode("ascii")
+                self._entries.append(DirectoryEntry(name, size, first))
+            else:
+                self._entries.append(None)
+        self._mounted = True
+
+    def _require_mounted(self) -> None:
+        if not self._mounted:
+            raise FileSystemError("file system not formatted or mounted")
+
+    # ------------------------------------------------------------------
+    # Metadata write-through
+    # ------------------------------------------------------------------
+    def _write_fat_entry(self, cluster: int, value: int) -> None:
+        self._fat[cluster] = value
+        sector = self.fat_start + (cluster * 2) // SECTOR_SIZE
+        base = (sector - self.fat_start) * (SECTOR_SIZE // 2)
+        count = min(SECTOR_SIZE // 2, self.num_clusters - base)
+        payload = struct.pack(
+            f"<{count}H", *self._fat[base:base + count]
+        ).ljust(SECTOR_SIZE, b"\x00")
+        self.device.write_sectors(sector, payload)
+
+    def _write_dirent(self, index: int) -> None:
+        sector = self.dir_start + (index * DIRENT_SIZE) // SECTOR_SIZE
+        base = ((sector - self.dir_start) * SECTOR_SIZE) // DIRENT_SIZE
+        records = []
+        for slot in range(base, min(base + SECTOR_SIZE // DIRENT_SIZE,
+                                    self.max_files)):
+            entry = self._entries[slot]
+            if entry is None:
+                records.append(b"\x00" * DIRENT_SIZE)
+            else:
+                records.append(
+                    _DIRENT.pack(
+                        _encode_name(entry.name), _FLAG_USED,
+                        entry.size, entry.first_cluster,
+                    )
+                )
+        payload = b"".join(records).ljust(SECTOR_SIZE, b"\x00")
+        self.device.write_sectors(sector, payload)
+
+    # ------------------------------------------------------------------
+    # Cluster management
+    # ------------------------------------------------------------------
+    def _allocate_cluster(self) -> int:
+        for cluster, value in enumerate(self._fat):
+            if value == _FAT_FREE:
+                return cluster
+        raise FileSystemFullError("no free clusters")
+
+    def _chain(self, first: int) -> list[int]:
+        chain = []
+        cluster = first
+        while cluster != _FAT_EOF:
+            if not 0 <= cluster < self.num_clusters:
+                raise FileSystemError(f"corrupt FAT chain at {cluster}")
+            chain.append(cluster)
+            cluster = self._fat[cluster]
+            if len(chain) > self.num_clusters:
+                raise FileSystemError("FAT chain cycle detected")
+        return chain
+
+    def _cluster_sector(self, cluster: int) -> int:
+        return self.data_start + cluster * self.sectors_per_cluster
+
+    # ------------------------------------------------------------------
+    # File API
+    # ------------------------------------------------------------------
+    def _find(self, name: str) -> int:
+        for index, entry in enumerate(self._entries):
+            if entry is not None and entry.name == name:
+                return index
+        raise FileNotFoundFsError(f"no such file: {name!r}")
+
+    def exists(self, name: str) -> bool:
+        self._require_mounted()
+        try:
+            self._find(name)
+        except FileNotFoundFsError:
+            return False
+        return True
+
+    def listdir(self) -> list[str]:
+        """Names of all files, in directory order."""
+        self._require_mounted()
+        return [entry.name for entry in self._entries if entry is not None]
+
+    def stat(self, name: str) -> DirectoryEntry:
+        self._require_mounted()
+        return self._entries[self._find(name)]
+
+    def write_file(self, name: str, data: bytes) -> None:
+        """Create or replace ``name`` with ``data`` (whole-file semantics)."""
+        self._require_mounted()
+        _encode_name(name)  # validate early
+        try:
+            self.delete(name)
+        except FileNotFoundFsError:
+            pass
+        slot = next(
+            (i for i, entry in enumerate(self._entries) if entry is None), None
+        )
+        if slot is None:
+            raise FileSystemFullError("root directory is full")
+        clusters_needed = max(1, -(-len(data) // self.cluster_bytes))
+        chain: list[int] = []
+        try:
+            for _ in range(clusters_needed):
+                cluster = self._allocate_cluster()
+                self._write_fat_entry(cluster, _FAT_EOF)  # reserve
+                if chain:
+                    self._write_fat_entry(chain[-1], cluster)
+                chain.append(cluster)
+        except FileSystemFullError:
+            for cluster in chain:  # release the partial chain
+                self._write_fat_entry(cluster, _FAT_FREE)
+            raise
+        for index, cluster in enumerate(chain):
+            chunk = data[index * self.cluster_bytes:(index + 1) * self.cluster_bytes]
+            self.device.write_sectors(
+                self._cluster_sector(cluster),
+                chunk.ljust(self.cluster_bytes, b"\x00"),
+            )
+        self._entries[slot] = DirectoryEntry(name, len(data), chain[0])
+        self._write_dirent(slot)
+
+    def read_file(self, name: str) -> bytes:
+        """Whole-file read."""
+        self._require_mounted()
+        entry = self._entries[self._find(name)]
+        out = bytearray()
+        for cluster in self._chain(entry.first_cluster):
+            out += self.device.read_sectors(
+                self._cluster_sector(cluster), self.sectors_per_cluster
+            )
+        return bytes(out[: entry.size])
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append ``data`` to an existing file (log-style updates)."""
+        self._require_mounted()
+        index = self._find(name)
+        entry = self._entries[index]
+        chain = self._chain(entry.first_cluster)
+        tail_used = entry.size - (len(chain) - 1) * self.cluster_bytes
+        cursor = 0
+        # Fill the partial tail cluster first (read-modify-write).
+        if tail_used < self.cluster_bytes:
+            sector = self._cluster_sector(chain[-1])
+            block = bytearray(
+                self.device.read_sectors(sector, self.sectors_per_cluster)
+            )
+            take = min(len(data), self.cluster_bytes - tail_used)
+            block[tail_used:tail_used + take] = data[:take]
+            self.device.write_sectors(sector, bytes(block))
+            cursor = take
+        while cursor < len(data):
+            cluster = self._allocate_cluster()
+            self._write_fat_entry(cluster, _FAT_EOF)
+            self._write_fat_entry(chain[-1], cluster)
+            chain.append(cluster)
+            chunk = data[cursor:cursor + self.cluster_bytes]
+            self.device.write_sectors(
+                self._cluster_sector(cluster),
+                chunk.ljust(self.cluster_bytes, b"\x00"),
+            )
+            cursor += len(chunk)
+        self._entries[index] = DirectoryEntry(
+            name, entry.size + len(data), entry.first_cluster
+        )
+        self._write_dirent(index)
+
+    def delete(self, name: str) -> None:
+        """Remove a file and free its clusters."""
+        self._require_mounted()
+        index = self._find(name)
+        entry = self._entries[index]
+        for cluster in self._chain(entry.first_cluster):
+            self._write_fat_entry(cluster, _FAT_FREE)
+        self._entries[index] = None
+        self._write_dirent(index)
+
+    # ------------------------------------------------------------------
+    def free_clusters(self) -> int:
+        self._require_mounted()
+        return sum(1 for value in self._fat if value == _FAT_FREE)
+
+    def __repr__(self) -> str:
+        state = "mounted" if self._mounted else "unmounted"
+        return (
+            f"FatFileSystem({state}, clusters={getattr(self, 'num_clusters', 0)}, "
+            f"files={len(self.listdir()) if self._mounted else '?'})"
+        )

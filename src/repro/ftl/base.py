@@ -1,0 +1,259 @@
+"""Common interface of Flash Translation Layer drivers.
+
+Paper Section 2.1: "A typical Flash Translation Layer driver consists of an
+Allocator and a Cleaner.  The Allocator handles any translation of Logical
+Block Addresses (LBA) and their Physical Block Addresses (PBA). ...  The
+Cleaner is to do garbage collection."  This module defines the driver
+surface shared by the two concrete implementations (FTL in
+:mod:`repro.ftl.page_mapping`, NFTL in :mod:`repro.ftl.nftl`), the
+statistics record both maintain, and the SW Leveler wiring: a driver *is* a
+:class:`~repro.core.leveler.WearLevelingHost`.
+
+Address units: drivers operate on *logical page numbers* (LPNs).  One LPN
+covers one flash page of data; the simulation engine converts the trace's
+512-byte sector LBAs to LPNs using the geometry's ``sectors_per_page``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.leveler import SWLeveler
+from repro.flash.chip import PAGE_VALID
+from repro.flash.errors import TranslationError
+from repro.flash.mtd import MtdDevice
+
+#: The paper's garbage-collection trigger: GC runs "when the percentage of
+#: free blocks was under 0.2% of the entire flash-memory capacity".
+GC_FREE_FRACTION = 0.002
+
+#: Default fraction of physical capacity withheld from the logical space.
+#: The paper's setup exports (almost) the full capacity; a pure-software
+#: driver needs some slack to garbage collect, so simulations reserve 5 %
+#: unless configured otherwise (documented per experiment in DESIGN.md).
+DEFAULT_OP_RATIO = 0.05
+
+
+@dataclass
+class LayerStats:
+    """Cumulative driver activity counters.
+
+    ``live_page_copies`` is the paper's live-page-copying count (Section
+    4.3): every valid page moved during garbage collection, a fold/merge,
+    or a forced static-wear-leveling recycle.
+    """
+
+    host_reads: int = 0
+    host_writes: int = 0
+    gc_runs: int = 0
+    live_page_copies: int = 0
+    folds: int = 0                 #: NFTL primary/replacement merges
+    forced_recycles: int = 0       #: blocks recycled on SW Leveler request
+    dead_recycles: int = 0         #: fully-invalid blocks erased on demand
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, int]:
+        data = {
+            "host_reads": self.host_reads,
+            "host_writes": self.host_writes,
+            "gc_runs": self.gc_runs,
+            "live_page_copies": self.live_page_copies,
+            "folds": self.folds,
+            "forced_recycles": self.forced_recycles,
+            "dead_recycles": self.dead_recycles,
+        }
+        data.update(self.extra)
+        return data
+
+
+class TranslationLayer(ABC):
+    """Abstract Flash Translation Layer driver over an MTD device.
+
+    Concrete subclasses implement the Allocator (address translation) and
+    the Cleaner (garbage collection).  The base class provides logical
+    sizing, SW Leveler attachment, and the ``WearLevelingHost`` cost probe.
+
+    Parameters
+    ----------
+    mtd:
+        The MTD device to manage.
+    op_ratio:
+        Fraction of physical capacity withheld from the logical space.
+    gc_free_fraction:
+        Free-block fraction below which the Cleaner engages (paper: 0.2 %).
+    alloc_policy:
+        Free-block allocation order: ``"lifo"`` (default, the era's
+        firmware behaviour and the baseline the paper's Table 4 implies)
+        or ``"min-wear"`` (stronger allocation-side dynamic wear
+        leveling).  See :mod:`repro.ftl.allocator`.
+    retire_worn:
+        When ``True``, a block erased past its rated endurance is retired
+        (grown-bad-block management): it never returns to the free pool,
+        physical capacity shrinks, and the device reaches end of life
+        when the Cleaner can no longer keep its reserve — surfacing as
+        :class:`~repro.flash.errors.OutOfSpaceError`.  Default ``False``,
+        matching the paper's runs that continue past wear-out.
+    """
+
+    #: Short name used in reports ("FTL" / "NFTL").
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        mtd: MtdDevice,
+        *,
+        op_ratio: float = DEFAULT_OP_RATIO,
+        gc_free_fraction: float = GC_FREE_FRACTION,
+        alloc_policy: str = "lifo",
+        retire_worn: bool = False,
+    ) -> None:
+        if not 0.0 < op_ratio < 1.0:
+            raise ValueError(f"op_ratio must be in (0, 1), got {op_ratio}")
+        if not 0.0 < gc_free_fraction < 1.0:
+            raise ValueError(
+                f"gc_free_fraction must be in (0, 1), got {gc_free_fraction}"
+            )
+        self.mtd = mtd
+        self.geometry = mtd.geometry
+        self.op_ratio = op_ratio
+        self.alloc_policy = alloc_policy
+        # The Cleaner engages when free blocks drop to this count.  At the
+        # paper's scale 0.2% of 4096 blocks is 8; small simulated chips
+        # floor at 2 so GC always has one block of headroom to copy into.
+        self.gc_free_blocks = max(2, round(gc_free_fraction * self.geometry.num_blocks))
+        self.retire_worn = retire_worn
+        #: Blocks withdrawn from service after exceeding their endurance.
+        self.retired_blocks: set[int] = set()
+        self.stats = LayerStats()
+        self.leveler: SWLeveler | None = None
+
+    def _release_or_retire(self, block: int) -> None:
+        """Return an erased block to the pool, or retire it if worn out.
+
+        The single chokepoint for grown-bad-block management: every block
+        release in both drivers goes through here.
+        """
+        if (
+            self.retire_worn
+            and self.mtd.erase_counts[block] > self.geometry.endurance
+        ):
+            self.retired_blocks.add(block)
+            self.stats.extra["retired"] = len(self.retired_blocks)
+            return
+        self.allocator.release(block)
+
+    def _reserve_blocks(self) -> int:
+        """Physical blocks withheld from the logical space.
+
+        At least ``op_ratio`` of the chip, but never less than the GC
+        trigger level plus three blocks (two write frontiers and one block
+        of copy headroom) — the minimum for the Cleaner to always make
+        progress.  On the paper's 4,096-block chip the 5 % ratio dominates;
+        the floor only matters for the tiny chips used in unit tests.
+        """
+        floor = self.gc_free_blocks + 3
+        wanted = math.ceil(self.op_ratio * self.geometry.num_blocks)
+        reserve = max(floor, wanted)
+        if reserve >= self.geometry.num_blocks:
+            raise ValueError(
+                f"{self.geometry.name}: {self.geometry.num_blocks} blocks leave "
+                f"no logical space after reserving {reserve}"
+            )
+        return reserve
+
+    # ------------------------------------------------------------------
+    # Logical address space
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def num_logical_pages(self) -> int:
+        """Number of logical pages exported to the host."""
+
+    def check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.num_logical_pages:
+            raise TranslationError(
+                f"logical page {lpn} out of range [0, {self.num_logical_pages}) "
+                f"for {self.name} over {self.geometry.name}"
+            )
+
+    # ------------------------------------------------------------------
+    # Host operations
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def read(self, lpn: int) -> bytes | None:
+        """Read one logical page; ``None`` when never written."""
+
+    @abstractmethod
+    def write(self, lpn: int, data: bytes | None = None) -> None:
+        """Out-place update of one logical page."""
+
+    # ------------------------------------------------------------------
+    # SW Leveler integration (paper Figure 1)
+    # ------------------------------------------------------------------
+    def attach_leveler(self, leveler: SWLeveler) -> None:
+        """Wire a SW Leveler into the Cleaner's erase path.
+
+        Every block erase — whether from normal garbage collection or the
+        leveler's own forced recycles — then reaches SWL-BETUpdate, exactly
+        as the paper requires ("the BET must be updated whenever a block is
+        erased").
+        """
+        if self.leveler is not None:
+            raise RuntimeError(f"{self.name} already has a leveler attached")
+        self.leveler = leveler
+        self.mtd.add_erase_listener(leveler.on_block_erased)
+
+    def swl_cost_probe(self) -> tuple[int, int]:
+        """``(block_erases, live_page_copies)`` for SWL-overhead attribution."""
+        return self.mtd.counters.erases, self.stats.live_page_copies
+
+    @abstractmethod
+    def recycle_block_range(self, blocks: range) -> int:
+        """EraseBlockSet: force-recycle the given physical blocks.
+
+        See :class:`~repro.core.leveler.WearLevelingHost`.
+        """
+
+    @contextmanager
+    def _leveler_suspended(self) -> Iterator[None]:
+        """Defer SWL-Procedure while the driver is mid-GC.
+
+        BET updates still happen on every erase; the threshold check
+        replays once the driver returns to a quiescent state, so a nested
+        forced recycle can never interleave with an in-flight merge.
+        """
+        if self.leveler is None:
+            yield
+            return
+        self.leveler.suspend()
+        try:
+            yield
+        finally:
+            self.leveler.resume()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def erase_counts(self) -> list[int]:
+        """Per-block erase counts (the distribution behind paper Table 4)."""
+        return self.mtd.erase_counts
+
+    def utilization(self) -> float:
+        """Fraction of physical pages currently holding valid data."""
+        flash = self.mtd.flash
+        valid = sum(
+            flash.count_pages(b, PAGE_VALID) for b in range(self.geometry.num_blocks)
+        )
+        return valid / self.geometry.total_pages
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(geometry={self.geometry.name}, "
+            f"logical_pages={self.num_logical_pages}, "
+            f"leveler={'on' if self.leveler else 'off'})"
+        )

@@ -1,0 +1,107 @@
+"""Sector-granular block device over a translation layer.
+
+Paper Figure 1 stacks "File Systems (e.g., DOS FAT)" on top of the Flash
+Translation Layer, which exists precisely so that flash "could be managed
+by a block-device-emulating layer".  This module is that emulation
+boundary: a 512-byte-sector read/write interface over any
+:class:`~repro.ftl.base.TranslationLayer`, handling the sector-to-page
+packing (read-modify-write for sub-page updates) that real drivers do.
+"""
+
+from __future__ import annotations
+
+from repro.flash.errors import TranslationError
+from repro.ftl.base import TranslationLayer
+
+SECTOR_SIZE = 512
+
+
+class BlockDevice:
+    """512-byte-sector interface over a translation layer.
+
+    Requires the underlying stack to store data
+    (``build_stack(..., store_data=True)``); sub-page writes read the
+    containing page first, splice the sectors in, and write it back —
+    exactly one out-place page update per touched page.
+    """
+
+    def __init__(self, layer: TranslationLayer) -> None:
+        self.layer = layer
+        self.page_size = layer.geometry.page_size
+        self.sectors_per_page = self.page_size // SECTOR_SIZE
+        self.num_sectors = layer.num_logical_pages * self.sectors_per_page
+
+    # ------------------------------------------------------------------
+    def _check_range(self, lba: int, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"sector count must be >= 1, got {count}")
+        if lba < 0 or lba + count > self.num_sectors:
+            raise TranslationError(
+                f"sector range [{lba}, {lba + count}) exceeds the device's "
+                f"{self.num_sectors} sectors"
+            )
+
+    def _read_page(self, lpn: int) -> bytes:
+        data = self.layer.read(lpn)
+        if data is None:
+            return b"\x00" * self.page_size
+        if len(data) < self.page_size:
+            return data.ljust(self.page_size, b"\x00")
+        return data
+
+    # ------------------------------------------------------------------
+    def read_sectors(self, lba: int, count: int = 1) -> bytes:
+        """Read ``count`` consecutive sectors; unwritten space reads zero."""
+        self._check_range(lba, count)
+        out = bytearray()
+        remaining = count
+        sector = lba
+        while remaining:
+            lpn, offset = divmod(sector, self.sectors_per_page)
+            take = min(remaining, self.sectors_per_page - offset)
+            page = self._read_page(lpn)
+            start = offset * SECTOR_SIZE
+            out += page[start:start + take * SECTOR_SIZE]
+            sector += take
+            remaining -= take
+        return bytes(out)
+
+    def write_sectors(self, lba: int, data: bytes) -> None:
+        """Write ``data`` (a whole number of sectors) starting at ``lba``.
+
+        Partial-page updates are read-modify-write; page-aligned full-page
+        spans are written directly.
+        """
+        if len(data) % SECTOR_SIZE:
+            raise ValueError(
+                f"data length {len(data)} is not a whole number of "
+                f"{SECTOR_SIZE}-byte sectors"
+            )
+        count = len(data) // SECTOR_SIZE
+        self._check_range(lba, count)
+        remaining = count
+        sector = lba
+        cursor = 0
+        while remaining:
+            lpn, offset = divmod(sector, self.sectors_per_page)
+            take = min(remaining, self.sectors_per_page - offset)
+            chunk = data[cursor:cursor + take * SECTOR_SIZE]
+            if take == self.sectors_per_page:
+                self.layer.write(lpn, data=chunk)
+            else:
+                page = bytearray(self._read_page(lpn))
+                start = offset * SECTOR_SIZE
+                page[start:start + len(chunk)] = chunk
+                self.layer.write(lpn, data=bytes(page))
+            sector += take
+            cursor += len(chunk)
+            remaining -= take
+
+    def flush(self) -> None:
+        """No-op (the simulator has no volatile cache); kept for API shape."""
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockDevice({self.layer.name}, sectors={self.num_sectors}, "
+            f"page={self.page_size}B)"
+        )

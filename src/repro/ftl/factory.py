@@ -1,0 +1,120 @@
+"""Convenience constructors wiring chip + MTD + driver + SW Leveler.
+
+Experiments build the same stack over and over; :func:`build_stack`
+assembles it in one call from a geometry, a driver name, and an
+:class:`~repro.core.config.SWLConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.config import SWLConfig
+from repro.core.leveler import SWLeveler
+from repro.flash.chip import NandFlash
+from repro.flash.geometry import FlashGeometry
+from repro.flash.mtd import MtdDevice
+from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
+from repro.ftl.nftl import NFTL
+from repro.ftl.page_mapping import PageMappingFTL
+
+_DRIVERS: dict[str, type[TranslationLayer]] = {
+    "ftl": PageMappingFTL,
+    "nftl": NFTL,
+}
+
+
+def driver_names() -> list[str]:
+    """Names accepted by :func:`make_layer` (``ftl``, ``nftl``)."""
+    return sorted(_DRIVERS)
+
+
+def make_layer(
+    name: str,
+    mtd: MtdDevice,
+    *,
+    op_ratio: float = DEFAULT_OP_RATIO,
+    gc_free_fraction: float = GC_FREE_FRACTION,
+    alloc_policy: str = "lifo",
+    retire_worn: bool = False,
+) -> TranslationLayer:
+    """Instantiate a translation layer by name over an MTD device."""
+    try:
+        cls = _DRIVERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown translation layer {name!r}; choose from {driver_names()}"
+        ) from None
+    return cls(
+        mtd,
+        op_ratio=op_ratio,
+        gc_free_fraction=gc_free_fraction,
+        alloc_policy=alloc_policy,
+        retire_worn=retire_worn,
+    )
+
+
+@dataclass
+class StorageStack:
+    """A fully wired flash storage system (paper Figure 1, below the VFS)."""
+
+    flash: NandFlash
+    mtd: MtdDevice
+    layer: TranslationLayer
+    leveler: SWLeveler | None
+
+    @property
+    def name(self) -> str:
+        label = self.layer.name
+        if self.leveler is not None:
+            label += f"+SWL+k={self.leveler.bet.k}+T={int(self.leveler.threshold)}"
+        return label
+
+
+def build_stack(
+    geometry: FlashGeometry,
+    driver: str = "ftl",
+    swl: SWLConfig | None = None,
+    *,
+    op_ratio: float = DEFAULT_OP_RATIO,
+    gc_free_fraction: float = GC_FREE_FRACTION,
+    alloc_policy: str = "lifo",
+    retire_worn: bool = False,
+    store_data: bool = False,
+    rng: random.Random | None = None,
+) -> StorageStack:
+    """Assemble chip, MTD, driver, and (optionally) the SW Leveler.
+
+    Parameters
+    ----------
+    geometry:
+        Chip organization.
+    driver:
+        ``"ftl"`` or ``"nftl"``.
+    swl:
+        SW Leveler configuration; ``None`` or a disabled config yields the
+        paper's baseline system.
+    alloc_policy:
+        Free-block allocation order (see :mod:`repro.ftl.allocator`).
+    store_data:
+        Keep page payloads (for data-integrity tests and examples).
+    rng:
+        Randomness for the leveler's post-reset ``findex`` re-seed.
+    """
+    flash = NandFlash(geometry, store_data=store_data)
+    mtd = MtdDevice(flash)
+    layer = make_layer(
+        driver,
+        mtd,
+        op_ratio=op_ratio,
+        gc_free_fraction=gc_free_fraction,
+        alloc_policy=alloc_policy,
+        retire_worn=retire_worn,
+    )
+    leveler = None
+    if swl is not None and swl.enabled:
+        leveler = swl.build(geometry.num_blocks, layer, rng=rng)
+        assert leveler is not None
+        layer.attach_leveler(leveler)
+    return StorageStack(flash=flash, mtd=mtd, layer=layer, leveler=leveler)

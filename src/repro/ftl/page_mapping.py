@@ -1,0 +1,358 @@
+"""FTL — the page-level mapping Flash Translation Layer (paper Section 2.2).
+
+"FTL adopts a page-level address translation mechanism for fine-grained
+address translation" (Figure 2(a)): a RAM table maps each logical page to
+the physical (block, page) holding its current data.  Updates are
+out-place: the new content goes to a free page and the old page is marked
+invalid.  When free space runs low, the Cleaner reclaims blocks with the
+greedy cost-benefit policy of Section 5.1, copying live pages out first.
+
+Implementation notes
+--------------------
+* Three write frontiers are kept — host writes, Cleaner copies, and
+  SW-Leveler cold moves — so hot, reclaimed, and cold data never share a
+  destination block (see DESIGN.md, cold-data destination separation).
+* Per-block valid/invalid page counts are maintained incrementally, making
+  victim scoring O(1) per probe.
+* Dynamic wear leveling (which the paper's baseline Cleaner already has,
+  Section 1) selects the least-worn block among qualifying GC victims and
+  among fully-invalid blocks reclaimed on demand.
+* Free blocks are reused most-recently-freed first by default (see
+  :mod:`repro.ftl.allocator` for the policy choice and its rationale).
+"""
+
+from __future__ import annotations
+
+from repro.flash.chip import PAGE_FREE, PAGE_VALID
+from repro.flash.errors import OutOfSpaceError
+from repro.flash.mtd import MtdDevice
+from repro.ftl.allocator import BlockAllocator
+from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
+from repro.ftl.cleaner import CyclicScanner, GreedyScore
+
+_UNMAPPED = -1
+
+
+class PageMappingFTL(TranslationLayer):
+    """Fine-grained (page-level) translation layer.
+
+    Parameters are those of :class:`~repro.ftl.base.TranslationLayer`.
+    The logical space is the physical space minus the reserved blocks
+    (``op_ratio`` of the chip, floored at the Cleaner's working minimum).
+    """
+
+    name = "FTL"
+
+    def __init__(
+        self,
+        mtd: MtdDevice,
+        *,
+        op_ratio: float = DEFAULT_OP_RATIO,
+        gc_free_fraction: float = GC_FREE_FRACTION,
+        alloc_policy: str = "lifo",
+        retire_worn: bool = False,
+    ) -> None:
+        super().__init__(
+            mtd,
+            op_ratio=op_ratio,
+            gc_free_fraction=gc_free_fraction,
+            alloc_policy=alloc_policy,
+            retire_worn=retire_worn,
+        )
+        geometry = self.geometry
+        self._num_logical_pages = (
+            geometry.num_blocks - self._reserve_blocks()
+        ) * geometry.pages_per_block
+
+        # Address translation table (Figure 2(a)) and its inverse.
+        self._l2p = [_UNMAPPED] * self._num_logical_pages
+        self._p2l = [_UNMAPPED] * geometry.total_pages
+        # Incremental per-block page-state counts for O(1) victim scoring.
+        self._valid = [0] * geometry.num_blocks
+        self._invalid = [0] * geometry.num_blocks
+
+        self.allocator = BlockAllocator(
+            mtd.erase_counts, list(range(geometry.num_blocks)),
+            policy=alloc_policy,
+        )
+        self.scanner = CyclicScanner(geometry.num_blocks)
+        # Write frontiers: (block, next free page) or None when closed.
+        # Host writes, Cleaner copies, and SW-Leveler cold moves each get
+        # their own frontier so hot, reclaimed, and cold data never share
+        # a block — mixing cold pages into the Cleaner's destination would
+        # make every later collection re-copy them.
+        self._host_frontier: tuple[int, int] | None = None
+        self._copy_frontier: tuple[int, int] | None = None
+        self._cold_frontier: tuple[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Logical space
+    # ------------------------------------------------------------------
+    @property
+    def num_logical_pages(self) -> int:
+        return self._num_logical_pages
+
+    def mapping_of(self, lpn: int) -> tuple[int, int] | None:
+        """Physical (block, page) of ``lpn``, or ``None`` when unmapped."""
+        self.check_lpn(lpn)
+        index = self._l2p[lpn]
+        if index == _UNMAPPED:
+            return None
+        return self.geometry.page_address(index)
+
+    # ------------------------------------------------------------------
+    # Host operations
+    # ------------------------------------------------------------------
+    def read(self, lpn: int) -> bytes | None:
+        self.check_lpn(lpn)
+        self.stats.host_reads += 1
+        index = self._l2p[lpn]
+        if index == _UNMAPPED:
+            return None
+        _, payload = self.mtd.read_page(*self.geometry.page_address(index))
+        return payload
+
+    def write(self, lpn: int, data: bytes | None = None) -> None:
+        """Out-place update: program a free page, invalidate the old copy."""
+        self.check_lpn(lpn)
+        self.stats.host_writes += 1
+        block, page = self._next_host_page()
+        # Read the old location only *after* space was secured: garbage
+        # collection inside _next_host_page may have relocated it.
+        old = self._l2p[lpn]
+        self.mtd.write_page(block, page, lba=lpn, data=data)
+        self._valid[block] += 1
+        index = self.geometry.page_index(block, page)
+        self._p2l[index] = lpn
+        self._l2p[lpn] = index
+        if old != _UNMAPPED:
+            self._invalidate(old)
+
+    # ------------------------------------------------------------------
+    # Space management
+    # ------------------------------------------------------------------
+    def _invalidate(self, index: int) -> None:
+        block, page = self.geometry.page_address(index)
+        self.mtd.invalidate_page(block, page)
+        self._p2l[index] = _UNMAPPED
+        self._valid[block] -= 1
+        self._invalid[block] += 1
+
+    def _next_host_page(self) -> tuple[int, int]:
+        """Next free page on the host frontier, opening a new block if full."""
+        frontier = self._host_frontier
+        if frontier is None or frontier[1] == self.geometry.pages_per_block:
+            self._reclaim_space()
+            self._recycle_dead_block()
+            self._host_frontier = (self.allocator.allocate(), 0)
+            frontier = self._host_frontier
+        block, page = frontier
+        self._host_frontier = (block, page + 1)
+        return block, page
+
+    def _recycle_dead_block(self) -> None:
+        """Erase-on-demand: reclaim one fully-invalid block, if any.
+
+        Firmware of the paper's era erases reclaimable units lazily when a
+        new block is needed, so steady-state churn reuses its own dead
+        blocks instead of consuming untouched ones — which is what leaves
+        the cold majority of the chip at near-zero erase counts in the
+        paper's baselines (Table 4).  The least-worn dead block is chosen
+        (the dynamic wear leveling of Section 1); copy-based garbage
+        collection still engages at the Section 5.1 free-space trigger.
+        Under LIFO allocation the reclaimed block is allocated next.
+        """
+        frontiers = self._frontier_blocks()
+        ppb = self.geometry.pages_per_block
+
+        def dead_score(block: int) -> GreedyScore | None:
+            if self.allocator.contains(block) or block in frontiers:
+                return None
+            if self._valid[block] or self._invalid[block] != ppb:
+                return None
+            return GreedyScore(benefit=ppb, cost=0)
+
+        victim = self.scanner.find_least_worn(
+            dead_score, self.mtd.erase_counts.__getitem__
+        )
+        if victim is not None:
+            self.stats.dead_recycles += 1
+            with self._leveler_suspended():
+                self._relocate_and_erase(victim)
+
+    def _next_copy_page(self) -> tuple[int, int]:
+        """Next free page on the copy frontier (no recursive GC here:
+        the Cleaner's trigger threshold guarantees a free block exists)."""
+        frontier = self._copy_frontier
+        if frontier is None or frontier[1] == self.geometry.pages_per_block:
+            self._copy_frontier = (self.allocator.allocate(), 0)
+            frontier = self._copy_frontier
+        block, page = frontier
+        self._copy_frontier = (block, page + 1)
+        return block, page
+
+    def _next_cold_page(self) -> tuple[int, int]:
+        """Next free page on the cold frontier (SW-Leveler relocations)."""
+        frontier = self._cold_frontier
+        if frontier is None or frontier[1] == self.geometry.pages_per_block:
+            self._cold_frontier = (self.allocator.allocate(), 0)
+            frontier = self._cold_frontier
+        block, page = frontier
+        self._cold_frontier = (block, page + 1)
+        return block, page
+
+    def _frontier_blocks(self) -> set[int]:
+        blocks = set()
+        for frontier in (self._host_frontier, self._copy_frontier,
+                         self._cold_frontier):
+            if frontier is not None:
+                blocks.add(frontier[0])
+        return blocks
+
+    def _reclaim_space(self) -> None:
+        """Run the Cleaner until the free pool is above the trigger level.
+
+        Paper Section 5.1: "The Cleaners in FTL and NFTL were triggered for
+        garbage collection when the percentage of free blocks was under
+        0.2% of the entire flash-memory capacity."
+        """
+        if self.allocator.free_count > self.gc_free_blocks:
+            return
+        with self._leveler_suspended():
+            while self.allocator.free_count <= self.gc_free_blocks:
+                self._gc_once()
+
+    def _score_block(self, block: int) -> GreedyScore | None:
+        if (
+            self.allocator.contains(block)
+            or block in self.retired_blocks
+            or block in self._frontier_blocks()
+        ):
+            return None
+        return GreedyScore(benefit=self._invalid[block], cost=self._valid[block])
+
+    def _gc_once(self) -> None:
+        """One Cleaner pass: recycle the least-worn qualifying victim.
+
+        Victims qualify by the greedy cost-benefit rule; among them the
+        block with the smallest erase count wins — the baseline dynamic
+        wear leveling of paper Section 5.1.
+        """
+        victim = self.scanner.find_least_worn(
+            self._score_block, self.mtd.erase_counts.__getitem__
+        )
+        if victim is None:
+            victim = self.scanner.find_best_fallback(self._score_block)
+        if victim is None:
+            raise OutOfSpaceError(
+                "garbage collection found no block with reclaimable pages; "
+                "the logical space is too large for the physical space"
+            )
+        self.stats.gc_runs += 1
+        self._relocate_and_erase(victim)
+
+    def _relocate_and_erase(self, block: int, *, cold: bool = False) -> None:
+        """Copy every live page out of ``block``, erase it, pool it.
+
+        ``cold=True`` routes the copies to the dedicated cold frontier
+        (SW-Leveler moves), keeping relocated cold data out of the
+        Cleaner's destination blocks.
+        """
+        geometry = self.geometry
+        next_page = self._next_cold_page if cold else self._next_copy_page
+        base = block * geometry.pages_per_block
+        for page in range(geometry.pages_per_block):
+            lpn = self._p2l[base + page]
+            if lpn == _UNMAPPED:
+                continue
+            dest_block, dest_page = next_page()
+            lba, payload = self.mtd.read_page(block, page)
+            self.mtd.write_page(dest_block, dest_page, lba=lba, data=payload)
+            self.stats.live_page_copies += 1
+            dest_index = geometry.page_index(dest_block, dest_page)
+            self._p2l[base + page] = _UNMAPPED
+            self._p2l[dest_index] = lpn
+            self._l2p[lpn] = dest_index
+            self._valid[dest_block] += 1
+            self._valid[block] -= 1
+        self.mtd.erase_block(block)
+        self._valid[block] = 0
+        self._invalid[block] = 0
+        self._release_or_retire(block)
+
+    # ------------------------------------------------------------------
+    # SW Leveler host interface (EraseBlockSet)
+    # ------------------------------------------------------------------
+    def recycle_block_range(self, blocks: range) -> int:
+        """Force-recycle the selected block set so cold data moves.
+
+        Free blocks are skipped (nothing cold lives there); a frontier
+        block is closed first so its live pages relocate like any other.
+        Address translation updates happen exactly as in normal garbage
+        collection, per paper Section 3.1.
+        """
+        recycled = 0
+        with self._leveler_suspended():
+            for block in blocks:
+                if block in self.retired_blocks:
+                    continue  # out of service; the leveler flags the set
+                if self.allocator.contains(block):
+                    # Nothing cold to move, but pull the (possibly virgin)
+                    # block to the head of the free order so it joins the
+                    # write rotation; the leveler flags the set directly.
+                    self.allocator.promote(block)
+                    continue
+                if self._host_frontier is not None and block == self._host_frontier[0]:
+                    self._host_frontier = None
+                if self._copy_frontier is not None and block == self._copy_frontier[0]:
+                    self._copy_frontier = None
+                if self._cold_frontier is not None and block == self._cold_frontier[0]:
+                    self._cold_frontier = None
+                self._relocate_and_erase(block, cold=True)
+                self.stats.forced_recycles += 1
+                recycled += 1
+        return recycled
+
+    # ------------------------------------------------------------------
+    # Attach-time recovery (Figure 2(a): the table lives in RAM)
+    # ------------------------------------------------------------------
+    def rebuild_mapping(self) -> int:
+        """Reconstruct the translation table from spare-area tags.
+
+        Scans every page's spare LBA tag and state — what a real FTL does
+        when the device is attached and its RAM table is gone.  Returns the
+        number of mappings recovered.  Frontiers are closed; free blocks
+        are re-pooled.
+        """
+        geometry = self.geometry
+        flash = self.mtd.flash
+        self._l2p = [_UNMAPPED] * self._num_logical_pages
+        self._p2l = [_UNMAPPED] * geometry.total_pages
+        self._valid = [0] * geometry.num_blocks
+        self._invalid = [0] * geometry.num_blocks
+        free_blocks: list[int] = []
+        recovered = 0
+        for block in range(geometry.num_blocks):
+            states = flash.block_page_states(block)
+            if states.count(PAGE_FREE) == len(states):
+                free_blocks.append(block)
+                continue
+            for page, state in enumerate(states):
+                if state != PAGE_VALID:
+                    if state != PAGE_FREE:
+                        self._invalid[block] += 1
+                    continue
+                lpn = flash.page_lba(block, page)
+                index = geometry.page_index(block, page)
+                if 0 <= lpn < self._num_logical_pages:
+                    self._l2p[lpn] = index
+                    self._p2l[index] = lpn
+                    self._valid[block] += 1
+                    recovered += 1
+        self.allocator = BlockAllocator(
+            self.mtd.erase_counts, free_blocks, policy=self.alloc_policy
+        )
+        self._host_frontier = None
+        self._copy_frontier = None
+        self._cold_frontier = None
+        return recovered

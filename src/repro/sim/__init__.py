@@ -1,0 +1,68 @@
+"""Simulation engine, metrics, and the paper's experiment protocols.
+
+:mod:`repro.sim.engine` replays traces against a storage stack;
+:mod:`repro.sim.metrics` computes the endurance and overhead metrics of
+Section 5; :mod:`repro.sim.experiment` packages the first-failure and
+fixed-horizon protocols; :mod:`repro.sim.results` renders results in the
+paper's table/figure layouts.
+"""
+
+from repro.sim.engine import Simulator, SimResult, StopCondition, WearSample
+from repro.sim.experiment import (
+    DEFAULT_REQUEST_CAP,
+    ExperimentSpec,
+    logical_sectors_of,
+    make_base_trace,
+    make_workload,
+    run_fixed_horizon,
+    run_matrix,
+    run_until_first_failure,
+    workload_params_for,
+)
+from repro.sim.metrics import (
+    SECONDS_PER_YEAR,
+    EraseDistribution,
+    first_failure_years,
+    improvement_ratio,
+    increased_ratio,
+    unevenness_of,
+)
+from repro.sim.reporting import markdown_report, save_report
+from repro.sim.results import (
+    fig5_rows,
+    format_fig5,
+    format_overheads,
+    format_table4,
+    overhead_rows,
+    table4_rows,
+)
+
+__all__ = [
+    "DEFAULT_REQUEST_CAP",
+    "EraseDistribution",
+    "ExperimentSpec",
+    "SECONDS_PER_YEAR",
+    "SimResult",
+    "Simulator",
+    "StopCondition",
+    "WearSample",
+    "fig5_rows",
+    "first_failure_years",
+    "format_fig5",
+    "format_overheads",
+    "format_table4",
+    "improvement_ratio",
+    "increased_ratio",
+    "logical_sectors_of",
+    "make_base_trace",
+    "markdown_report",
+    "make_workload",
+    "overhead_rows",
+    "run_fixed_horizon",
+    "run_matrix",
+    "run_until_first_failure",
+    "save_report",
+    "table4_rows",
+    "unevenness_of",
+    "workload_params_for",
+]

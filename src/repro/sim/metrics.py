@@ -1,0 +1,82 @@
+"""Evaluation metrics — the quantities of paper Section 5.
+
+* **Endurance** (Section 5.2): the *first failure time* ("the first time to
+  wear out any block") in simulated years, and the distribution of
+  per-block erase counts (average, standard deviation, maximum — Table 4).
+* **Extra overhead** (Section 5.3): the increased ratios of block erases
+  and live-page copyings of an SWL run relative to its baseline
+  (Figures 6 and 7, where the baseline sits at 100 %).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+SECONDS_PER_YEAR = 365.0 * 86_400.0
+
+
+@dataclass(frozen=True)
+class EraseDistribution:
+    """Summary of per-block erase counts (the columns of paper Table 4)."""
+
+    average: float
+    deviation: float
+    maximum: int
+    minimum: int
+    total: int
+
+    @classmethod
+    def from_counts(cls, counts: Sequence[int]) -> "EraseDistribution":
+        if not counts:
+            raise ValueError("no erase counts")
+        total = sum(counts)
+        average = total / len(counts)
+        variance = sum((c - average) ** 2 for c in counts) / len(counts)
+        return cls(
+            average=average,
+            deviation=math.sqrt(variance),
+            maximum=max(counts),
+            minimum=min(counts),
+            total=total,
+        )
+
+    def row(self) -> list[float | int]:
+        """[Avg, Dev, Max] — the row layout of paper Table 4."""
+        return [round(self.average), round(self.deviation), self.maximum]
+
+
+def first_failure_years(sim_time: float | None) -> float | None:
+    """Convert a simulated first-failure instant to years (Figure 5 y-axis)."""
+    if sim_time is None:
+        return None
+    return sim_time / SECONDS_PER_YEAR
+
+
+def increased_ratio(value: float, baseline: float) -> float:
+    """Percentage of ``value`` relative to ``baseline`` (Figures 6-7 y-axis).
+
+    The paper plots the baseline at 100 %; an SWL run with 2 % extra block
+    erases plots at 102 %.
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 100.0 * value / baseline
+
+
+def improvement_ratio(value: float, baseline: float) -> float:
+    """Relative improvement in percent (the paper's "+51.2%" style numbers)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 100.0 * (value - baseline) / baseline
+
+
+def unevenness_of(counts: Sequence[int]) -> float:
+    """Max/mean erase-count ratio: a scale-free wear-imbalance indicator."""
+    if not counts:
+        raise ValueError("no erase counts")
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        return 0.0
+    return max(counts) / mean

@@ -1,0 +1,123 @@
+"""Markdown report generation from simulation results.
+
+Turns a set of :class:`~repro.sim.engine.SimResult` objects into a
+self-contained markdown document — summary table, per-run details,
+wear-evolution sparklines — suitable for dropping into a lab notebook or
+a pull request.  Used by ``python -m repro sweep --report``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.figures import sparkline
+from repro.sim.engine import SimResult
+from repro.sim.metrics import improvement_ratio
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def markdown_report(
+    results: Sequence[SimResult],
+    *,
+    title: str = "Wear-leveling simulation report",
+    baseline_label: str | None = None,
+) -> str:
+    """Render ``results`` as a markdown document.
+
+    ``baseline_label`` names the row the improvement column is computed
+    against; defaults to the first result.
+    """
+    if not results:
+        raise ValueError("no results to report")
+    baseline = results[0]
+    if baseline_label is not None:
+        matches = [r for r in results if r.label == baseline_label]
+        if not matches:
+            raise ValueError(f"no result labelled {baseline_label!r}")
+        baseline = matches[0]
+
+    def failure_cell(result: SimResult) -> str:
+        if result.first_failure_time is None:
+            return f"> {result.sim_time / 86_400:.2f} d (no failure)"
+        return f"{result.first_failure_time / 86_400:.2f} d"
+
+    def gain_cell(result: SimResult) -> str:
+        if result is baseline:
+            return "—"
+        if result.first_failure_time is None or baseline.first_failure_time is None:
+            return "n/a"
+        return f"{improvement_ratio(result.first_failure_time, baseline.first_failure_time):+.1f}%"
+
+    summary_rows = []
+    for result in results:
+        distribution = result.erase_distribution
+        summary_rows.append(
+            [result.label,
+             failure_cell(result),
+             gain_cell(result),
+             f"{distribution.average:.0f}",
+             f"{distribution.deviation:.0f}",
+             distribution.maximum,
+             result.total_erases,
+             result.live_page_copies]
+        )
+
+    sections = [
+        f"# {title}",
+        "",
+        "## Summary",
+        "",
+        _markdown_table(
+            ["Configuration", "First failure", "vs baseline",
+             "Avg erases", "Dev", "Max", "Total erases", "Live copies"],
+            summary_rows,
+        ),
+    ]
+
+    for result in results:
+        sections += ["", f"## {result.label}", ""]
+        detail_rows = [
+            ["requests replayed", result.requests],
+            ["pages written", result.pages_written],
+            ["simulated time", f"{result.sim_time / 86_400:.2f} days"],
+            ["garbage collections", result.gc_runs],
+            ["device busy time", f"{result.device_busy_time:.1f} s"],
+        ]
+        for key, value in sorted(result.swl_stats.items()):
+            if key == "findex_history":
+                continue
+            detail_rows.append([f"SWL {key.replace('_', ' ')}", value])
+        sections.append(_markdown_table(["Metric", "Value"], detail_rows))
+        if result.timeline:
+            deviations = [sample.deviation for sample in result.timeline]
+            maxima = [sample.maximum for sample in result.timeline]
+            sections += [
+                "",
+                "Wear evolution (first to last sample):",
+                "",
+                f"- deviation `{sparkline(deviations)}` "
+                f"({deviations[0]:.0f} → {deviations[-1]:.0f})",
+                f"- max erase `{sparkline([float(m) for m in maxima])}` "
+                f"({maxima[0]} → {maxima[-1]})",
+            ]
+    sections.append("")
+    return "\n".join(sections)
+
+
+def save_report(
+    path: str,
+    results: Sequence[SimResult],
+    **kwargs: object,
+) -> None:
+    """Write :func:`markdown_report` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(markdown_report(results, **kwargs))  # type: ignore[arg-type]

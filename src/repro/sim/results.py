@@ -1,0 +1,105 @@
+"""Rendering simulation results in the paper's table/figure layouts.
+
+Each helper takes :class:`~repro.sim.engine.SimResult` objects and emits
+rows shaped like the corresponding paper exhibit, so benchmark output can
+be compared against the publication side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.engine import SimResult
+from repro.sim.metrics import improvement_ratio, increased_ratio
+from repro.util.tables import format_table
+
+
+def table4_rows(results: Sequence[SimResult]) -> list[list[object]]:
+    """Rows of paper Table 4: label, Avg, Dev, Max erase counts."""
+    return [
+        [result.label, *result.erase_distribution.row()] for result in results
+    ]
+
+
+def format_table4(results: Sequence[SimResult], *, title: str | None = None) -> str:
+    return format_table(
+        ["Configuration", "Avg.", "Dev.", "Max."],
+        table4_rows(results),
+        title=title or "Erase-count distribution (paper Table 4 layout)",
+    )
+
+
+def fig5_rows(
+    baseline: SimResult, swl_results: Sequence[SimResult]
+) -> list[list[object]]:
+    """Rows of a Figure 5 sub-plot: first failure time plus improvement %.
+
+    A run that never failed within its request cap reports ``>= observed``
+    (the cap bounds the measurement, not the system).
+    """
+    rows: list[list[object]] = []
+    base_years = baseline.first_failure_years
+
+    def cell(result: SimResult) -> object:
+        years = result.first_failure_years
+        if years is None:
+            return f">{result.sim_time / (365 * 86400):.2f}"
+        return round(years, 3)
+
+    rows.append([baseline.label, cell(baseline), "-"])
+    for result in swl_results:
+        years = result.first_failure_years
+        if years is None or base_years is None:
+            rows.append([result.label, cell(result), "n/a"])
+        else:
+            rows.append(
+                [result.label, cell(result),
+                 f"{improvement_ratio(years, base_years):+.1f}%"]
+            )
+    return rows
+
+
+def format_fig5(
+    baseline: SimResult,
+    swl_results: Sequence[SimResult],
+    *,
+    title: str | None = None,
+) -> str:
+    return format_table(
+        ["Configuration", "First failure (years)", "vs baseline"],
+        fig5_rows(baseline, swl_results),
+        title=title or "First failure time (paper Figure 5 layout)",
+    )
+
+
+def overhead_rows(
+    baseline: SimResult, swl_results: Sequence[SimResult]
+) -> list[list[object]]:
+    """Rows of Figures 6-7: increased ratios of erases and copyings.
+
+    The baseline plots at 100 %, matching the paper's y-axes.
+    """
+    rows: list[list[object]] = [[baseline.label, 100.0, 100.0]]
+    for result in swl_results:
+        erase_ratio = increased_ratio(result.total_erases, baseline.total_erases)
+        if baseline.live_page_copies > 0:
+            copy_ratio = increased_ratio(
+                result.live_page_copies, baseline.live_page_copies
+            )
+        else:
+            copy_ratio = float("inf") if result.live_page_copies else 100.0
+        rows.append([result.label, round(erase_ratio, 2), round(copy_ratio, 2)])
+    return rows
+
+
+def format_overheads(
+    baseline: SimResult,
+    swl_results: Sequence[SimResult],
+    *,
+    title: str | None = None,
+) -> str:
+    return format_table(
+        ["Configuration", "Block erases (%)", "Live-page copyings (%)"],
+        overhead_rows(baseline, swl_results),
+        title=title or "Increased overhead ratios (paper Figures 6-7 layout)",
+    )

@@ -1,0 +1,58 @@
+"""Workload substrate: trace model, synthetic generator, resampling, I/O.
+
+The paper's evaluation (Section 5.1) replays a month-long mobile-PC trace
+and derives a "virtually unlimited" trace from it by resampling random
+10-minute segments.  This package provides a faithful synthetic stand-in
+(:mod:`repro.traces.generator` — see DESIGN.md, Substitutions), the
+resampler (:mod:`repro.traces.extend`), trace files
+(:mod:`repro.traces.io`), and validation statistics
+(:mod:`repro.traces.stats`).
+"""
+
+from repro.traces.extend import SEGMENT_SECONDS, SegmentResampler
+from repro.traces.generator import DAY, MONTH, MobilePCWorkload, WorkloadParams
+from repro.traces.io import (
+    iter_trace_binary,
+    iter_trace_csv,
+    load_trace,
+    save_trace,
+    save_trace_binary,
+    save_trace_csv,
+)
+from repro.traces.model import Op, Request, TraceSummary
+from repro.traces.stats import (
+    sequentiality,
+    summarize,
+    write_frequency_by_region,
+)
+from repro.traces.synthetic import (
+    SequentialLogWorkload,
+    SyntheticParams,
+    UniformWorkload,
+    ZipfianWorkload,
+)
+
+__all__ = [
+    "DAY",
+    "MONTH",
+    "MobilePCWorkload",
+    "Op",
+    "Request",
+    "SEGMENT_SECONDS",
+    "SegmentResampler",
+    "SequentialLogWorkload",
+    "SyntheticParams",
+    "TraceSummary",
+    "UniformWorkload",
+    "WorkloadParams",
+    "ZipfianWorkload",
+    "iter_trace_binary",
+    "iter_trace_csv",
+    "load_trace",
+    "save_trace",
+    "save_trace_binary",
+    "save_trace_csv",
+    "sequentiality",
+    "summarize",
+    "write_frequency_by_region",
+]

@@ -1,0 +1,96 @@
+"""Deriving a virtually unlimited trace from a finite one.
+
+Paper Section 5.1: "In order to come out the first failure time of FTL and
+NFTL, a virtually unlimited experiment trace was also derived based on the
+collected trace by randomly picking up any 10-minute trace segment in the
+trace."  :class:`SegmentResampler` implements exactly that: it indexes the
+base trace, then emits an endless stream of randomly chosen 10-minute
+windows with timestamps re-based so simulated time advances monotonically
+by one segment length per segment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.traces.model import Request
+from repro.util.rng import make_rng
+
+#: The paper's segment length: 10 minutes.
+SEGMENT_SECONDS = 600.0
+
+
+@dataclass
+class SegmentResampler:
+    """Endless trace built from random fixed-length segments of a base trace.
+
+    Parameters
+    ----------
+    base:
+        The finite base trace, time-ordered.
+    segment:
+        Segment length in seconds (paper: 600).
+    rng:
+        Seeded randomness for segment starts.
+
+    Notes
+    -----
+    Segment boundaries land anywhere in ``[0, duration - segment]``; empty
+    segments (quiet periods of the base trace) still advance simulated time
+    by a full segment, so long-run request rates match the base trace.
+    """
+
+    base: Sequence[Request]
+    segment: float = SEGMENT_SECONDS
+    rng: random.Random | None = None
+
+    def __post_init__(self) -> None:
+        if not self.base:
+            raise ValueError("base trace is empty")
+        if self.segment <= 0:
+            raise ValueError(f"segment length must be positive, got {self.segment}")
+        times = [request.time for request in self.base]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("base trace is not time-ordered")
+        self._times = times
+        self.duration = times[-1]
+        if self.duration < self.segment:
+            raise ValueError(
+                f"base trace covers {self.duration:.0f}s, shorter than one "
+                f"{self.segment:.0f}s segment"
+            )
+        if self.rng is None:
+            self.rng = make_rng(None)
+        self.segments_emitted = 0
+
+    def _segment_slice(self, start: float) -> tuple[int, int]:
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, start + self.segment)
+        return lo, hi
+
+    def iter_requests(self) -> Iterator[Request]:
+        """Yield requests forever; ``.time`` grows monotonically.
+
+        Each emitted request keeps its offset within the chosen segment,
+        shifted onto the global clock.
+        """
+        clock = 0.0
+        assert self.rng is not None
+        while True:
+            start = self.rng.uniform(0.0, self.duration - self.segment)
+            lo, hi = self._segment_slice(start)
+            for request in self.base[lo:hi]:
+                yield Request(
+                    time=clock + (request.time - start),
+                    op=request.op,
+                    lba=request.lba,
+                    sectors=request.sectors,
+                )
+            clock += self.segment
+            self.segments_emitted += 1
+
+    def __iter__(self) -> Iterator[Request]:
+        return self.iter_requests()

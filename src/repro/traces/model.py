@@ -1,0 +1,84 @@
+"""Trace data model.
+
+The paper's evaluation replays a block-level access trace "collected over a
+mobile PC with a 20GB hard disk (by NTFS) for a month" (Section 5.1).  A
+trace is a time-ordered sequence of sector-granular read/write requests;
+this module defines that request record and the summary statistics the
+paper reports about its trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Op(Enum):
+    """Request direction."""
+
+    READ = "R"
+    WRITE = "W"
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One block-device request.
+
+    Attributes
+    ----------
+    time:
+        Issue time in seconds from the start of the trace.
+    op:
+        :class:`Op` direction.
+    lba:
+        First 512-byte sector addressed.
+    sectors:
+        Number of consecutive sectors transferred (>= 1).
+    """
+
+    time: float
+    op: Op
+    lba: int
+    sectors: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"negative request time {self.time}")
+        if self.lba < 0:
+            raise ValueError(f"negative LBA {self.lba}")
+        if self.sectors < 1:
+            raise ValueError(f"sectors must be >= 1, got {self.sectors}")
+
+    @property
+    def end_lba(self) -> int:
+        """One past the last sector addressed."""
+        return self.lba + self.sectors
+
+    def is_write(self) -> bool:
+        return self.op is Op.WRITE
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of a trace (the quantities of Section 5.1)."""
+
+    duration: float              #: seconds covered
+    num_reads: int
+    num_writes: int
+    written_lba_fraction: float  #: distinct written LBAs / address space
+    read_rate: float             #: reads per second
+    write_rate: float            #: writes per second
+    total_sectors_written: int
+    total_sectors_read: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "duration_s": self.duration,
+            "num_reads": self.num_reads,
+            "num_writes": self.num_writes,
+            "written_lba_fraction": self.written_lba_fraction,
+            "read_rate_per_s": self.read_rate,
+            "write_rate_per_s": self.write_rate,
+            "total_sectors_written": self.total_sectors_written,
+            "total_sectors_read": self.total_sectors_read,
+        }

@@ -1,0 +1,179 @@
+"""Additional synthetic workload families.
+
+The paper evaluates on one desktop trace; a library user will want to
+know how static wear leveling behaves under other access patterns.  This
+module provides three classic block-workload generators sharing the
+:class:`repro.traces.model.Request` stream interface of the mobile-PC
+generator:
+
+* :class:`UniformWorkload` — uniformly random writes over the space;
+  no skew, so dynamic wear leveling alone suffices (SWL's null case).
+* :class:`ZipfianWorkload` — Zipf-distributed write popularity with a
+  pinned cold tail; a knob between "uniform" and "pathological".
+* :class:`SequentialLogWorkload` — an append-only circular log (e.g., a
+  DVR or sensor logger) plus a pinned firmware image; the cold image is
+  the only thing SWL needs to move.
+
+All generators are seeded, deterministic, and expose
+``prefill_requests()`` for warm-started experiments, matching
+:class:`~repro.traces.generator.MobilePCWorkload`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.traces.model import Op, Request
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class SyntheticParams:
+    """Common knobs of the synthetic workload family."""
+
+    total_sectors: int
+    duration: float
+    write_rate: float = 10.0          #: write ops per second
+    request_sectors: int = 8          #: sectors per write
+    pinned_fraction: float = 0.5      #: space written once, never again
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_sectors <= 0:
+            raise ValueError("total_sectors must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.write_rate <= 0:
+            raise ValueError("write_rate must be positive")
+        if self.request_sectors < 1:
+            raise ValueError("request_sectors must be >= 1")
+        if not 0.0 <= self.pinned_fraction < 1.0:
+            raise ValueError("pinned_fraction must be in [0, 1)")
+
+    @property
+    def pinned_sectors(self) -> int:
+        """Sectors occupied by the write-once region (lowest addresses)."""
+        return int(self.total_sectors * self.pinned_fraction)
+
+    @property
+    def active_sectors(self) -> int:
+        return self.total_sectors - self.pinned_sectors
+
+
+class _SyntheticBase:
+    """Shared clockwork: Poisson arrivals over the active region."""
+
+    def __init__(self, params: SyntheticParams) -> None:
+        self.params = params
+        self._rng: random.Random = make_rng(params.seed)
+
+    def prefill_requests(self, *, at: float = 0.0) -> list[Request]:
+        """Install the pinned region (the data SWL must keep moving)."""
+        image: list[Request] = []
+        step = self.params.request_sectors
+        for start in range(0, self.params.pinned_sectors, step):
+            sectors = min(step, self.params.pinned_sectors - start)
+            image.append(Request(at, Op.WRITE, start, sectors))
+        return image
+
+    def _next_lba(self) -> int:
+        raise NotImplementedError
+
+    def iter_requests(self) -> Iterator[Request]:
+        params = self.params
+        time = self._rng.expovariate(params.write_rate)
+        while time < params.duration:
+            lba = self._next_lba()
+            sectors = min(params.request_sectors, params.total_sectors - lba)
+            yield Request(time, Op.WRITE, lba, sectors)
+            time += self._rng.expovariate(params.write_rate)
+
+    def requests(self) -> list[Request]:
+        return list(self.iter_requests())
+
+
+class UniformWorkload(_SyntheticBase):
+    """Uniformly random writes over the active (non-pinned) region."""
+
+    def _next_lba(self) -> int:
+        params = self.params
+        span = max(1, params.active_sectors - params.request_sectors + 1)
+        return params.pinned_sectors + self._rng.randrange(span)
+
+
+@dataclass
+class ZipfianWorkload(_SyntheticBase):
+    """Zipf-popularity writes: a few chunks absorb most traffic.
+
+    The active region is divided into ``request_sectors``-sized chunks;
+    chunk ``i`` (in a seeded random permutation) is written with
+    probability proportional to ``1 / (i + 1) ** alpha``.
+    """
+
+    params: SyntheticParams
+    alpha: float = 1.0
+    _chunks: list[int] = field(init=False)
+    _cdf: list[float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        _SyntheticBase.__init__(self, self.params)
+        params = self.params
+        count = max(1, params.active_sectors // params.request_sectors)
+        self._chunks = list(range(count))
+        self._rng.shuffle(self._chunks)
+        weights = [1.0 / (rank + 1) ** self.alpha for rank in range(count)]
+        total = sum(weights)
+        running = 0.0
+        self._cdf = []
+        for weight in weights:
+            running += weight / total
+            self._cdf.append(running)
+
+    def _next_lba(self) -> int:
+        point = self._rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        chunk = self._chunks[lo]
+        return self.params.pinned_sectors + chunk * self.params.request_sectors
+
+
+class SequentialLogWorkload(_SyntheticBase):
+    """Append-only circular log over the active region (DVR, logger)."""
+
+    def __init__(self, params: SyntheticParams) -> None:
+        super().__init__(params)
+        self._cursor = 0
+
+    def _next_lba(self) -> int:
+        params = self.params
+        if self._cursor + params.request_sectors > params.active_sectors:
+            self._cursor = 0
+        lba = params.pinned_sectors + self._cursor
+        self._cursor += params.request_sectors
+        return lba
+
+
+def theoretical_skew(workload: _SyntheticBase, samples: int = 10_000) -> float:
+    """Empirical write-popularity skew: top-decile share of writes.
+
+    0.1 means perfectly uniform (the top 10% of chunks get 10% of
+    writes); values near 1.0 mean extreme concentration.
+    """
+    from collections import Counter
+
+    counts: Counter[int] = Counter()
+    for _ in range(samples):
+        counts[workload._next_lba()] += 1
+    ordered = sorted(counts.values(), reverse=True)
+    top = ordered[: max(1, math.ceil(len(ordered) / 10))]
+    return sum(top) / samples

@@ -1,0 +1,197 @@
+"""A compact, fixed-size bit array.
+
+The Block Erasing Table of the SW Leveler (paper Section 3.2) is "a bit
+array, in which each bit corresponds to a set of 2^k contiguous blocks".
+RAM on a flash controller is scarce, so the paper sizes the table in single
+bits (Table 1: a 4 GB SLC device needs a 512-byte BET at k=3).  This module
+provides the backing store with exactly that footprint: one Python
+``bytearray`` with eight flags per byte.
+
+The class also supports the operations the BET needs beyond get/set:
+population count (``fcnt`` maintenance checks), scanning for the next zero
+bit from a cyclic cursor (Algorithm 1, steps 9-10), and byte-exact
+serialization (Section 3.2 proposes saving the BET to flash at shutdown).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
+
+
+class BitArray:
+    """Fixed-size array of bits stored eight-per-byte.
+
+    Parameters
+    ----------
+    size:
+        Number of bits.  Must be positive.
+
+    Examples
+    --------
+    >>> bits = BitArray(10)
+    >>> bits.set(3)
+    True
+    >>> bits[3]
+    True
+    >>> bits.popcount()
+    1
+    """
+
+    __slots__ = ("_size", "_bytes")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"BitArray size must be positive, got {size}")
+        self._size = size
+        self._bytes = bytearray((size + 7) // 8)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def _check_index(self, index: int) -> int:
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(f"bit index {index} out of range [0, {self._size})")
+        return index
+
+    def __getitem__(self, index: int) -> bool:
+        index = self._check_index(index)
+        return bool(self._bytes[index >> 3] & (1 << (index & 7)))
+
+    def __setitem__(self, index: int, value: bool) -> None:
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def __iter__(self) -> Iterator[bool]:
+        for index in range(self._size):
+            yield self[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self._size == other._size and self._bytes == other._bytes
+
+    def __repr__(self) -> str:
+        shown = "".join("1" if bit else "0" for bit in list(self)[:64])
+        suffix = "..." if self._size > 64 else ""
+        return f"BitArray(size={self._size}, bits={shown}{suffix})"
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def set(self, index: int) -> bool:
+        """Set bit ``index`` to 1.
+
+        Returns ``True`` when the bit flipped from 0 to 1 and ``False`` when
+        it was already set.  The caller (SWL-BETUpdate) uses the return value
+        to maintain ``fcnt`` without a second lookup.
+        """
+        index = self._check_index(index)
+        mask = 1 << (index & 7)
+        byte_index = index >> 3
+        if self._bytes[byte_index] & mask:
+            return False
+        self._bytes[byte_index] |= mask
+        return True
+
+    def clear(self, index: int) -> bool:
+        """Clear bit ``index``; returns ``True`` when it flipped from 1 to 0."""
+        index = self._check_index(index)
+        mask = 1 << (index & 7)
+        byte_index = index >> 3
+        if not self._bytes[byte_index] & mask:
+            return False
+        self._bytes[byte_index] &= ~mask
+        return True
+
+    def reset(self) -> None:
+        """Clear every bit (start of a new resetting interval)."""
+        for i in range(len(self._bytes)):
+            self._bytes[i] = 0
+
+    def fill(self) -> None:
+        """Set every bit (used by tests and crash-recovery checks)."""
+        for i in range(len(self._bytes)):
+            self._bytes[i] = 0xFF
+        self._mask_tail()
+
+    def _mask_tail(self) -> None:
+        tail_bits = self._size & 7
+        if tail_bits:
+            self._bytes[-1] &= (1 << tail_bits) - 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def popcount(self) -> int:
+        """Number of set bits (the reference value for ``fcnt``)."""
+        return sum(_POPCOUNT[b] for b in self._bytes)
+
+    def all_set(self) -> bool:
+        """``True`` when every flag is 1 (BET reset condition, Alg. 1 step 3)."""
+        return self.popcount() == self._size
+
+    def any_set(self) -> bool:
+        return any(self._bytes)
+
+    def next_zero(self, start: int) -> int | None:
+        """Index of the first zero bit at or after ``start``, cyclically.
+
+        Implements the scan of Algorithm 1 steps 9-10: ``findex`` advances
+        modulo the table size until a zero-valued flag is found.  Returns
+        ``None`` when every bit is set (the caller then resets the table).
+        """
+        start = self._check_index(start)
+        for offset in range(self._size):
+            index = (start + offset) % self._size
+            if not self[index]:
+                return index
+        return None
+
+    def zero_indices(self) -> list[int]:
+        """All indices whose flag is still zero (candidate cold block sets)."""
+        return [i for i in range(self._size) if not self[i]]
+
+    # ------------------------------------------------------------------
+    # Serialization (Section 3.2: save the BET to flash at shutdown)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Byte-exact snapshot; ``len(result) == ceil(size / 8)``."""
+        return bytes(self._bytes)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, size: int) -> "BitArray":
+        """Rebuild a bit array from :meth:`to_bytes` output.
+
+        Raises ``ValueError`` when ``data`` is not exactly the right length
+        or when padding bits beyond ``size`` are set (corruption check).
+        """
+        bits = cls(size)
+        expected = (size + 7) // 8
+        if len(data) != expected:
+            raise ValueError(
+                f"expected {expected} bytes for a {size}-bit array, got {len(data)}"
+            )
+        bits._bytes = bytearray(data)
+        tail_bits = size & 7
+        if tail_bits and bits._bytes[-1] >> tail_bits:
+            raise ValueError("padding bits beyond the declared size are set")
+        return bits
+
+    def copy(self) -> "BitArray":
+        clone = BitArray(self._size)
+        clone._bytes = bytearray(self._bytes)
+        return clone
+
+    @property
+    def nbytes(self) -> int:
+        """RAM footprint in bytes — the quantity reported in paper Table 1."""
+        return len(self._bytes)

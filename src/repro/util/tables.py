@@ -1,0 +1,97 @@
+"""Plain-text table rendering.
+
+The benchmark harness regenerates the paper's Tables 1-4 and the data series
+behind Figures 5-7; this module renders those results as aligned monospace
+tables so that a bench run prints rows directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}".rstrip("0").rstrip(".") if cell == cell else "nan"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Column widths adapt to the content; numeric cells are right-aligned,
+    text cells left-aligned.  Returns the table as a single string.
+    """
+    materialized = [[_stringify(cell) for cell in row] for row in rows]
+    ncols = len(headers)
+    for row in materialized:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {ncols} columns: {row}"
+            )
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        stripped = text.rstrip("%")
+        try:
+            float(stripped)
+        except ValueError:
+            return False
+        return True
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if is_numeric(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(fmt_row(list(headers)))
+    lines.append(separator)
+    for row in materialized:
+        lines.append(fmt_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` output (convenience for benches/examples)."""
+    print(format_table(headers, rows, title=title))
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series (e.g., first-failure time vs k) as a table."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} xs but {len(ys)} ys")
+    return format_table(
+        [x_label, y_label],
+        [[x, y] for x, y in zip(xs, ys)],
+        title=name,
+    )

@@ -1,0 +1,213 @@
+"""Tests for the free-block allocator and the greedy victim scanner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flash.errors import OutOfSpaceError
+from repro.ftl.allocator import BlockAllocator
+from repro.ftl.cleaner import CyclicScanner, GreedyScore
+
+
+class TestAllocatorCommon:
+    def test_initial_pool(self):
+        allocator = BlockAllocator([0] * 4, [0, 1, 2, 3])
+        assert allocator.free_count == 4
+        assert allocator.contains(2)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown allocation policy"):
+            BlockAllocator([0], [0], policy="random")
+
+    def test_allocate_empty_raises(self):
+        allocator = BlockAllocator([0], [])
+        with pytest.raises(OutOfSpaceError):
+            allocator.allocate()
+
+    def test_double_release_rejected(self):
+        allocator = BlockAllocator([0, 0], [0])
+        with pytest.raises(ValueError, match="already free"):
+            allocator.release(0)
+
+    def test_reclaim_specific_block(self):
+        allocator = BlockAllocator([0, 0], [0, 1])
+        allocator.reclaim(1)
+        assert not allocator.contains(1)
+        assert allocator.free_count == 1
+
+    def test_reclaim_non_free_rejected(self):
+        allocator = BlockAllocator([0], [])
+        with pytest.raises(ValueError, match="not free"):
+            allocator.reclaim(0)
+
+    def test_promote_non_free_rejected(self):
+        allocator = BlockAllocator([0], [])
+        with pytest.raises(ValueError, match="not free"):
+            allocator.promote(0)
+
+    def test_free_blocks_snapshot(self):
+        allocator = BlockAllocator([0] * 3, [0, 2])
+        snapshot = allocator.free_blocks()
+        snapshot.add(1)  # mutating the snapshot must not affect the pool
+        assert allocator.free_blocks() == {0, 2}
+
+
+class TestLifoPolicy:
+    def test_most_recently_released_first(self):
+        allocator = BlockAllocator([0] * 4, [0, 1, 2, 3], policy="lifo")
+        assert allocator.allocate() == 3  # releases happened 0, 1, 2, 3
+        allocator.release(3)
+        assert allocator.allocate() == 3  # reused immediately
+
+    def test_virgin_blocks_stay_buried(self):
+        # The property behind the paper's pinned-baseline behaviour: a
+        # block released once keeps being reused; earlier pool entries
+        # never surface.
+        allocator = BlockAllocator([0] * 8, list(range(8)), policy="lifo")
+        block = allocator.allocate()
+        for _ in range(20):
+            allocator.release(block)
+            assert allocator.allocate() == block
+        assert allocator.free_count == 7
+
+    def test_promote_surfaces_buried_block(self):
+        allocator = BlockAllocator([0] * 4, [0, 1, 2, 3], policy="lifo")
+        allocator.promote(0)  # the SW Leveler pulls block 0 forward
+        assert allocator.allocate() == 0
+
+    def test_stale_stack_entries_skipped(self):
+        allocator = BlockAllocator([0] * 3, [0, 1, 2], policy="lifo")
+        allocator.promote(1)
+        allocator.promote(2)
+        assert allocator.allocate() == 2
+        assert allocator.allocate() == 1
+        assert allocator.allocate() == 0
+        with pytest.raises(OutOfSpaceError):
+            allocator.allocate()  # stale entries must not double-allocate
+
+
+class TestMinWearPolicy:
+    def test_allocate_least_worn(self):
+        wear = [5, 0, 3, 9]
+        allocator = BlockAllocator(wear, [0, 1, 2, 3], policy="min-wear")
+        assert allocator.allocate() == 1  # wear 0
+        assert allocator.allocate() == 2  # wear 3
+        assert allocator.allocate() == 0
+        assert allocator.allocate() == 3
+
+    def test_release_and_reallocate(self):
+        wear = [0, 0]
+        allocator = BlockAllocator(wear, [0, 1], policy="min-wear")
+        block = allocator.allocate()
+        wear[block] += 1
+        allocator.release(block)
+        # The other block is now least-worn.
+        assert allocator.allocate() != block
+
+    def test_rekey_when_wear_changed_while_pooled(self):
+        # A stale heap entry must not leak an outdated priority.
+        wear = [0, 1]
+        allocator = BlockAllocator(wear, [0, 1], policy="min-wear")
+        wear[0] = 10  # block 0 aged while pooled (e.g., re-released path)
+        assert allocator.allocate() == 1
+
+    def test_promote_is_noop(self):
+        wear = [7, 0]
+        allocator = BlockAllocator(wear, [0, 1], policy="min-wear")
+        allocator.promote(0)
+        assert allocator.allocate() == 1  # min-wear order unchanged
+
+
+@given(
+    wear=st.lists(st.integers(0, 100), min_size=1, max_size=30),
+    takes=st.integers(0, 30),
+)
+def test_min_wear_always_returns_minimum(wear, takes):
+    allocator = BlockAllocator(
+        list(wear), list(range(len(wear))), policy="min-wear"
+    )
+    remaining = dict(enumerate(wear))
+    for _ in range(min(takes, len(wear))):
+        block = allocator.allocate()
+        assert wear[block] == min(remaining.values())
+        del remaining[block]
+
+
+@given(ops=st.lists(st.integers(0, 2), max_size=100), seed=st.integers(0, 100))
+def test_lifo_pool_membership_invariant(ops, seed):
+    import random
+
+    rng = random.Random(seed)
+    allocator = BlockAllocator([0] * 6, list(range(6)), policy="lifo")
+    allocated: set[int] = set()
+    for op in ops:
+        if op == 0 and allocator.free_count:
+            block = allocator.allocate()
+            assert block not in allocated
+            allocated.add(block)
+        elif op == 1 and allocated:
+            block = rng.choice(sorted(allocated))
+            allocated.discard(block)
+            allocator.release(block)
+        elif op == 2 and allocator.free_count:
+            allocator.promote(rng.choice(sorted(allocator.free_blocks())))
+    assert allocator.free_count == 6 - len(allocated)
+
+
+class TestGreedyScore:
+    def test_weighted_sum(self):
+        assert GreedyScore(benefit=5, cost=2).weighted_sum == 3
+
+    def test_qualifies_strictly_positive(self):
+        # Paper Section 5.1: recycle when the weighted sum is "above zero".
+        assert GreedyScore(benefit=3, cost=2).qualifies
+        assert not GreedyScore(benefit=2, cost=2).qualifies
+        assert not GreedyScore(benefit=1, cost=2).qualifies
+
+
+class TestCyclicScanner:
+    def test_finds_first_qualifying(self):
+        scanner = CyclicScanner(8)
+        scores = {3: GreedyScore(5, 0), 6: GreedyScore(9, 0)}
+        assert scanner.find(lambda unit: scores.get(unit)) == 3
+        # Cursor advanced past 3; next find continues from there.
+        assert scanner.find(lambda unit: scores.get(unit)) == 6
+
+    def test_wraps_around(self):
+        scanner = CyclicScanner(8)
+        scanner.cursor = 7
+        scores = {2: GreedyScore(4, 1)}
+        assert scanner.find(lambda unit: scores.get(unit)) == 2
+
+    def test_skips_non_qualifying(self):
+        scanner = CyclicScanner(4)
+        scores = {0: GreedyScore(1, 5), 2: GreedyScore(6, 1)}
+        assert scanner.find(lambda unit: scores.get(unit)) == 2
+
+    def test_none_when_no_candidates(self):
+        scanner = CyclicScanner(4)
+        assert scanner.find(lambda unit: None) is None
+
+    def test_fallback_picks_best(self):
+        scanner = CyclicScanner(4)
+        scores = {
+            0: GreedyScore(benefit=2, cost=10),
+            1: GreedyScore(benefit=3, cost=5),
+            3: GreedyScore(benefit=0, cost=0),  # nothing reclaimable
+        }
+        assert scanner.find_best_fallback(lambda unit: scores.get(unit)) == 1
+
+    def test_fallback_requires_positive_benefit(self):
+        scanner = CyclicScanner(2)
+        scores = {0: GreedyScore(benefit=0, cost=0)}
+        assert scanner.find_best_fallback(lambda unit: scores.get(unit)) is None
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CyclicScanner(0)
+
+    def test_probe_accounting(self):
+        scanner = CyclicScanner(4)
+        scanner.find(lambda unit: None)
+        assert scanner.probes == 4

@@ -1,0 +1,105 @@
+"""Tests for the counter-based (dual-pool) comparison leveler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.alternatives import DualPoolLeveler
+from repro.ftl.factory import build_stack
+
+
+def attach_dual_pool(stack, **kwargs):
+    leveler = DualPoolLeveler(stack.flash.erase_counts, stack.layer, **kwargs)
+    stack.layer.attach_leveler(leveler)
+    return leveler
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs", [{"delta": 0}, {"check_period": 0}, {"batch": 0}]
+    )
+    def test_validation(self, small_geometry, kwargs):
+        stack = build_stack(small_geometry, "ftl")
+        with pytest.raises(ValueError):
+            DualPoolLeveler(stack.flash.erase_counts, stack.layer, **kwargs)
+
+    def test_ram_cost_dwarfs_bet(self, small_geometry):
+        from repro.analysis.memory import bet_size_bytes
+
+        stack = build_stack(small_geometry, "ftl")
+        leveler = DualPoolLeveler(stack.flash.erase_counts, stack.layer)
+        # The paper's RAM argument: counters cost 32x a k=0 BET.
+        assert leveler.ram_bytes == 32 * bet_size_bytes(
+            small_geometry.num_blocks, 0
+        )
+
+
+class TestLeveling:
+    def _run_hot_cold(self, stack, writes=30_000):
+        layer = stack.layer
+        rng = random.Random(4)
+        # Pin cold data in half the logical space.
+        half = layer.num_logical_pages // 2
+        for lpn in range(half, layer.num_logical_pages):
+            layer.write(lpn)
+        for _ in range(writes):
+            layer.write(rng.randrange(16))
+
+    def test_evens_wear_like_swl(self, small_geometry):
+        baseline = build_stack(small_geometry, "ftl")
+        self._run_hot_cold(baseline)
+
+        leveled = build_stack(small_geometry, "ftl")
+        leveler = attach_dual_pool(leveled, delta=8, check_period=16)
+        self._run_hot_cold(leveled)
+
+        def deviation(counts):
+            mean = sum(counts) / len(counts)
+            return (sum((c - mean) ** 2 for c in counts) / len(counts)) ** 0.5
+
+        assert leveler.stats.swaps > 0
+        assert deviation(leveled.flash.erase_counts) < deviation(
+            baseline.flash.erase_counts
+        )
+
+    def test_no_action_below_delta(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        leveler = attach_dual_pool(stack, delta=10_000, check_period=8)
+        self._run_hot_cold(stack, writes=5_000)
+        assert leveler.stats.swaps == 0
+        assert leveler.stats.checks > 0
+
+    def test_overhead_attributed(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        leveler = attach_dual_pool(stack, delta=8, check_period=16)
+        self._run_hot_cold(stack)
+        assert leveler.stats.swl_erases >= leveler.stats.swaps
+
+    def test_works_on_nftl(self, small_geometry):
+        stack = build_stack(small_geometry, "nftl")
+        leveler = attach_dual_pool(stack, delta=8, check_period=16)
+        self._run_hot_cold(stack, writes=15_000)
+        assert leveler.stats.swaps > 0
+        assert min(stack.flash.erase_counts) > 0
+
+
+class TestSuspension:
+    def test_deferred_while_suspended(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        leveler = attach_dual_pool(stack, delta=1, check_period=1)
+        leveler.suspend()
+        stack.layer.write(0)
+        # Manually pump erases through the hook while suspended.
+        for _ in range(5):
+            leveler.on_block_erased(0)
+        swaps_before = leveler.stats.swaps
+        leveler.resume()
+        assert leveler.stats.checks >= 1 or swaps_before == leveler.stats.swaps
+
+    def test_unbalanced_resume(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        leveler = DualPoolLeveler(stack.flash.erase_counts, stack.layer)
+        with pytest.raises(RuntimeError):
+            leveler.resume()

@@ -1,0 +1,302 @@
+"""Tests for the Block Erasing Table (paper Section 3.2, Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bet import BetStore, BlockErasingTable
+
+
+class TestConstruction:
+    def test_one_to_one_mode(self):
+        bet = BlockErasingTable(16, k=0)
+        assert bet.size == 16
+        assert bet.nbytes == 2
+
+    def test_one_to_many_mode(self):
+        bet = BlockErasingTable(16, k=2)
+        assert bet.size == 4  # one flag per 4 blocks
+
+    def test_uneven_tail_set(self):
+        bet = BlockErasingTable(10, k=2)
+        assert bet.size == 3
+        assert list(bet.blocks_in_set(2)) == [8, 9]
+
+    @pytest.mark.parametrize("num_blocks,k", [(0, 0), (-1, 0), (8, -1)])
+    def test_bad_parameters(self, num_blocks, k):
+        with pytest.raises(ValueError):
+            BlockErasingTable(num_blocks, k)
+
+    def test_degenerate_k_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            BlockErasingTable(8, k=4)  # 2^4 = 16 > 8 blocks
+
+    def test_paper_table1_sizes(self):
+        # Table 1: 4GB SLC large-block = 32,768 blocks -> 4096B at k=0,
+        # 512B at k=3.
+        assert BlockErasingTable(32_768, k=0).nbytes == 4096
+        assert BlockErasingTable(32_768, k=3).nbytes == 512
+
+
+class TestFlagMapping:
+    def test_flag_index_is_floor_div(self):
+        bet = BlockErasingTable(16, k=2)
+        assert bet.flag_index(0) == 0
+        assert bet.flag_index(3) == 0
+        assert bet.flag_index(4) == 1
+        assert bet.flag_index(15) == 3
+
+    def test_flag_index_range_check(self):
+        bet = BlockErasingTable(8, k=0)
+        with pytest.raises(IndexError):
+            bet.flag_index(8)
+
+    def test_blocks_in_set_range_check(self):
+        bet = BlockErasingTable(8, k=1)
+        with pytest.raises(IndexError):
+            bet.blocks_in_set(4)
+
+    def test_blocks_in_set_roundtrip(self):
+        bet = BlockErasingTable(32, k=3)
+        for findex in range(bet.size):
+            for block in bet.blocks_in_set(findex):
+                assert bet.flag_index(block) == findex
+
+
+class TestBetUpdate:
+    """Algorithm 2: SWL-BETUpdate."""
+
+    def test_first_erase_sets_flag_and_counters(self):
+        bet = BlockErasingTable(8, k=0)
+        assert bet.record_erase(3) is True
+        assert bet.ecnt == 1
+        assert bet.fcnt == 1
+        assert bet.is_set(3)
+
+    def test_repeat_erase_only_bumps_ecnt(self):
+        bet = BlockErasingTable(8, k=0)
+        bet.record_erase(3)
+        assert bet.record_erase(3) is False
+        assert bet.ecnt == 2
+        assert bet.fcnt == 1
+
+    def test_one_to_many_shares_flag(self):
+        # Figure 3(b): "At least one of Block 2 and Block 3 has been erased."
+        bet = BlockErasingTable(8, k=1)
+        bet.record_erase(2)
+        assert bet.is_set(bet.flag_index(3))
+        bet.record_erase(3)
+        assert bet.fcnt == 1
+        assert bet.ecnt == 2
+
+    def test_mark_handled_counts_no_erase(self):
+        bet = BlockErasingTable(8, k=0)
+        assert bet.mark_handled(5) is True
+        assert bet.mark_handled(5) is False
+        assert bet.fcnt == 1
+        assert bet.ecnt == 0
+
+
+class TestUnevenness:
+    def test_zero_when_empty(self):
+        assert BlockErasingTable(8).unevenness() == 0.0
+
+    def test_ratio(self):
+        bet = BlockErasingTable(8)
+        for _ in range(10):
+            bet.record_erase(0)
+        assert bet.unevenness() == 10.0
+        bet.record_erase(1)
+        assert bet.unevenness() == pytest.approx(11 / 2)
+
+    def test_all_flags_set(self):
+        bet = BlockErasingTable(4, k=1)
+        assert not bet.all_flags_set()
+        bet.record_erase(0)
+        bet.record_erase(2)
+        assert bet.all_flags_set()
+
+
+class TestScanAndReset:
+    def test_next_zero_flag(self):
+        bet = BlockErasingTable(8, k=0)
+        bet.record_erase(0)
+        bet.record_erase(1)
+        assert bet.next_zero_flag(0) == 2
+        assert bet.next_zero_flag(7) == 7
+
+    def test_next_zero_flag_wraps_modulo(self):
+        bet = BlockErasingTable(8, k=0)
+        assert bet.next_zero_flag(13) == 5  # 13 % 8
+
+    def test_zero_flags(self):
+        bet = BlockErasingTable(4, k=0)
+        bet.record_erase(1)
+        assert bet.zero_flags() == [0, 2, 3]
+
+    def test_reset_starts_new_interval(self):
+        bet = BlockErasingTable(8, k=0)
+        for block in range(8):
+            bet.record_erase(block)
+        bet.reset()
+        assert bet.ecnt == 0
+        assert bet.fcnt == 0
+        assert bet.resets == 1
+        assert bet.zero_flags() == list(range(8))
+
+
+class TestPersistence:
+    def test_roundtrip(self):
+        bet = BlockErasingTable(12, k=1)
+        for block in (0, 1, 7):
+            bet.record_erase(block)
+        restored, sequence = BlockErasingTable.from_bytes(bet.to_bytes(sequence=9))
+        assert sequence == 9
+        assert restored.num_blocks == 12
+        assert restored.k == 1
+        assert restored.ecnt == bet.ecnt
+        assert restored.fcnt == bet.fcnt
+        assert restored.zero_flags() == bet.zero_flags()
+
+    def test_crc_detects_corruption(self):
+        raw = bytearray(BlockErasingTable(8).to_bytes())
+        raw[10] ^= 0x01
+        with pytest.raises(ValueError, match="CRC"):
+            BlockErasingTable.from_bytes(bytes(raw))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            BlockErasingTable.from_bytes(b"\x00" * 4)
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(BlockErasingTable(8).to_bytes())
+        raw[0:4] = b"XXXX"
+        # Recompute a valid CRC over the corrupted body so only the magic
+        # check can fire.
+        import struct
+        import zlib
+
+        body = bytes(raw[:-4])
+        raw[-4:] = struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        with pytest.raises(ValueError, match="magic"):
+            BlockErasingTable.from_bytes(bytes(raw))
+
+    def test_counter_mismatch_rejected(self):
+        bet = BlockErasingTable(8)
+        bet.record_erase(0)
+        bet.fcnt = 5  # corrupt the counter
+        raw = bet.to_bytes()
+        with pytest.raises(ValueError, match="disagrees"):
+            BlockErasingTable.from_bytes(raw)
+
+
+class TestBetStore:
+    """Section 3.2: dual-buffer crash resistance."""
+
+    def test_empty_store_loads_none(self):
+        assert BetStore().load() is None
+
+    def test_save_load(self):
+        store = BetStore()
+        bet = BlockErasingTable(8)
+        bet.record_erase(2)
+        store.save(bet)
+        loaded = store.load()
+        assert loaded is not None
+        assert loaded.is_set(2)
+
+    def test_newest_wins(self):
+        store = BetStore()
+        first = BlockErasingTable(8)
+        first.record_erase(0)
+        store.save(first)
+        second = BlockErasingTable(8)
+        second.record_erase(7)
+        store.save(second)
+        loaded = store.load()
+        assert loaded.is_set(7)
+        assert not loaded.is_set(0)
+
+    def test_corrupt_slot_falls_back(self):
+        store = BetStore()
+        first = BlockErasingTable(8)
+        first.record_erase(1)
+        store.save(first)
+        second = BlockErasingTable(8)
+        second.record_erase(2)
+        store.save(second)
+        # Crash mid-save: corrupt the slot holding the newest (seq 2) image.
+        for index in range(2):
+            data = store._slots[index].data
+            if data is not None:
+                _, seq = BlockErasingTable.from_bytes(data)
+                if seq == 2:
+                    store._slots[index].data = data[:-1] + b"\x00"
+        loaded = store.load()
+        assert loaded is not None
+        assert loaded.is_set(1)  # fell back to the older image
+
+    def test_file_backend_roundtrip(self, tmp_path):
+        paths = (str(tmp_path / "bet0.bin"), str(tmp_path / "bet1.bin"))
+        store = BetStore(paths)
+        bet = BlockErasingTable(16, k=1)
+        bet.record_erase(9)
+        store.save(bet)
+        fresh_store = BetStore(paths)
+        loaded = fresh_store.load()
+        assert loaded is not None
+        assert loaded.is_set(loaded.flag_index(9))
+
+    def test_file_backend_missing_files(self, tmp_path):
+        store = BetStore((str(tmp_path / "a"), str(tmp_path / "b")))
+        assert store.load() is None
+
+    def test_alternating_slots(self):
+        store = BetStore()
+        for index in range(4):
+            bet = BlockErasingTable(8)
+            bet.record_erase(index)
+            store.save(bet)
+        assert store._slots[0].data is not None
+        assert store._slots[1].data is not None
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@given(
+    num_blocks=st.integers(1, 300),
+    k=st.integers(0, 4),
+    erases=st.lists(st.integers(0, 10_000), max_size=300),
+)
+def test_counters_always_consistent(num_blocks, k, erases):
+    if (1 << k) > num_blocks:
+        k = 0
+    bet = BlockErasingTable(num_blocks, k)
+    for raw in erases:
+        bet.record_erase(raw % num_blocks)
+    assert bet.ecnt == len(erases)
+    assert bet.fcnt == bet.size - len(bet.zero_flags())
+    assert 0 <= bet.fcnt <= bet.size
+    if bet.fcnt:
+        assert bet.unevenness() >= 1.0  # each flag needs >= 1 erase
+
+
+@given(
+    num_blocks=st.integers(1, 128),
+    k=st.integers(0, 3),
+    erases=st.lists(st.integers(0, 10_000), max_size=100),
+    sequence=st.integers(0, 2**32),
+)
+def test_persistence_roundtrip_property(num_blocks, k, erases, sequence):
+    if (1 << k) > num_blocks:
+        k = 0
+    bet = BlockErasingTable(num_blocks, k)
+    for raw in erases:
+        bet.record_erase(raw % num_blocks)
+    restored, seq = BlockErasingTable.from_bytes(bet.to_bytes(sequence=sequence))
+    assert seq == sequence
+    assert restored.ecnt == bet.ecnt
+    assert restored.fcnt == bet.fcnt
+    assert restored.zero_flags() == bet.zero_flags()

@@ -1,0 +1,197 @@
+"""Unit and property tests for the BET's backing bit array."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitarray import BitArray
+
+
+class TestBasics:
+    def test_starts_all_zero(self):
+        bits = BitArray(37)
+        assert len(bits) == 37
+        assert not bits.any_set()
+        assert bits.popcount() == 0
+        assert all(not bit for bit in bits)
+
+    def test_set_and_get(self):
+        bits = BitArray(10)
+        assert bits.set(3) is True
+        assert bits[3] is True
+        assert bits[4] is False
+        assert bits.set(3) is False  # already set: no flip
+        assert bits.popcount() == 1
+
+    def test_clear(self):
+        bits = BitArray(10)
+        bits.set(7)
+        assert bits.clear(7) is True
+        assert bits.clear(7) is False
+        assert bits[7] is False
+
+    def test_setitem_getitem(self):
+        bits = BitArray(9)
+        bits[8] = True
+        assert bits[8]
+        bits[8] = False
+        assert not bits[8]
+
+    def test_negative_index(self):
+        bits = BitArray(8)
+        bits.set(-1)
+        assert bits[7]
+
+    @pytest.mark.parametrize("index", [-9, 8, 100])
+    def test_out_of_range_raises(self, index):
+        bits = BitArray(8)
+        with pytest.raises(IndexError):
+            bits[index]
+
+    @pytest.mark.parametrize("size", [0, -1, -100])
+    def test_bad_size_rejected(self, size):
+        with pytest.raises(ValueError):
+            BitArray(size)
+
+    def test_repr_truncates(self):
+        assert "..." in repr(BitArray(100))
+        assert "..." not in repr(BitArray(8))
+
+
+class TestBulkOperations:
+    def test_reset(self):
+        bits = BitArray(20)
+        for index in (0, 5, 19):
+            bits.set(index)
+        bits.reset()
+        assert bits.popcount() == 0
+
+    def test_fill_masks_tail(self):
+        bits = BitArray(11)  # tail bits beyond 11 must stay clear
+        bits.fill()
+        assert bits.popcount() == 11
+        assert bits.all_set()
+
+    def test_fill_exact_byte_boundary(self):
+        bits = BitArray(16)
+        bits.fill()
+        assert bits.popcount() == 16
+
+    def test_all_set_requires_every_bit(self):
+        bits = BitArray(9)
+        for index in range(8):
+            bits.set(index)
+        assert not bits.all_set()
+        bits.set(8)
+        assert bits.all_set()
+
+
+class TestScanning:
+    def test_next_zero_from_start(self):
+        bits = BitArray(8)
+        bits.set(0)
+        bits.set(1)
+        assert bits.next_zero(0) == 2
+
+    def test_next_zero_wraps(self):
+        bits = BitArray(8)
+        for index in range(4, 8):
+            bits.set(index)
+        assert bits.next_zero(5) == 0
+
+    def test_next_zero_all_set(self):
+        bits = BitArray(8)
+        bits.fill()
+        assert bits.next_zero(3) is None
+
+    def test_next_zero_self(self):
+        bits = BitArray(8)
+        assert bits.next_zero(5) == 5
+
+    def test_zero_indices(self):
+        bits = BitArray(5)
+        bits.set(1)
+        bits.set(3)
+        assert bits.zero_indices() == [0, 2, 4]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        bits = BitArray(13)
+        for index in (0, 3, 12):
+            bits.set(index)
+        clone = BitArray.from_bytes(bits.to_bytes(), 13)
+        assert clone == bits
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            BitArray.from_bytes(b"\x00", 13)
+
+    def test_dirty_padding_rejected(self):
+        with pytest.raises(ValueError, match="padding"):
+            BitArray.from_bytes(b"\xff\xff", 13)
+
+    def test_nbytes(self):
+        assert BitArray(1).nbytes == 1
+        assert BitArray(8).nbytes == 1
+        assert BitArray(9).nbytes == 2
+        assert BitArray(4096).nbytes == 512  # paper Table 1: 4GB SLC, k=3
+
+    def test_copy_is_independent(self):
+        bits = BitArray(8)
+        clone = bits.copy()
+        bits.set(0)
+        assert not clone[0]
+
+    def test_equality_against_other_types(self):
+        assert BitArray(4) != "0000"
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@given(size=st.integers(1, 512), indices=st.lists(st.integers(0, 10_000)))
+def test_popcount_matches_reference(size, indices):
+    bits = BitArray(size)
+    reference = set()
+    for raw in indices:
+        index = raw % size
+        bits.set(index)
+        reference.add(index)
+    assert bits.popcount() == len(reference)
+    assert sorted(reference) == [i for i in range(size) if bits[i]]
+
+
+@given(size=st.integers(1, 256), seed=st.integers(0, 2**32 - 1))
+def test_serialization_roundtrip_random(size, seed):
+    import random
+
+    rng = random.Random(seed)
+    bits = BitArray(size)
+    for index in range(size):
+        if rng.random() < 0.5:
+            bits.set(index)
+    restored = BitArray.from_bytes(bits.to_bytes(), size)
+    assert restored == bits
+    assert restored.popcount() == bits.popcount()
+
+
+@given(
+    size=st.integers(1, 128),
+    set_bits=st.sets(st.integers(0, 127)),
+    start=st.integers(0, 127),
+)
+def test_next_zero_matches_linear_scan(size, set_bits, start):
+    bits = BitArray(size)
+    for index in set_bits:
+        if index < size:
+            bits.set(index)
+    start %= size
+    expected = None
+    for offset in range(size):
+        candidate = (start + offset) % size
+        if not bits[candidate]:
+            expected = candidate
+            break
+    assert bits.next_zero(start) == expected

@@ -1,0 +1,269 @@
+"""Tests for the block-device layer and the FAT-style file system —
+the full Figure 1 stack from file API down to NAND cells."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flash.errors import TranslationError
+from repro.flash.geometry import FlashGeometry
+from repro.fs.fat import (
+    FatFileSystem,
+    FileNotFoundFsError,
+    FileSystemError,
+    FileSystemFullError,
+)
+from repro.ftl.blockdev import SECTOR_SIZE, BlockDevice
+from repro.ftl.factory import build_stack
+
+
+def make_device(driver="ftl", blocks=48, ppb=16):
+    geometry = FlashGeometry(blocks, ppb, 2048, 100_000, name="fs-test")
+    stack = build_stack(geometry, driver, store_data=True)
+    return BlockDevice(stack.layer), stack
+
+
+def make_fs(**kwargs):
+    device, stack = make_device(**kwargs)
+    fs = FatFileSystem(device, max_files=16)
+    fs.format()
+    return fs, device, stack
+
+
+class TestBlockDevice:
+    def test_unwritten_reads_zero(self):
+        device, _ = make_device()
+        assert device.read_sectors(0, 2) == b"\x00" * 1024
+
+    def test_sector_roundtrip(self):
+        device, _ = make_device()
+        payload = bytes(range(256)) * 2
+        device.write_sectors(5, payload)
+        assert device.read_sectors(5, 1) == payload
+
+    def test_sub_page_write_preserves_neighbours(self):
+        device, _ = make_device()
+        device.write_sectors(0, b"A" * SECTOR_SIZE * 4)  # one whole page
+        device.write_sectors(1, b"B" * SECTOR_SIZE)      # splice sector 1
+        assert device.read_sectors(0, 1) == b"A" * SECTOR_SIZE
+        assert device.read_sectors(1, 1) == b"B" * SECTOR_SIZE
+        assert device.read_sectors(2, 1) == b"A" * SECTOR_SIZE
+
+    def test_multi_page_span(self):
+        device, _ = make_device()
+        payload = bytes([i % 251 for i in range(SECTOR_SIZE * 11)])
+        device.write_sectors(3, payload)
+        assert device.read_sectors(3, 11) == payload
+
+    def test_ragged_length_rejected(self):
+        device, _ = make_device()
+        with pytest.raises(ValueError, match="whole number"):
+            device.write_sectors(0, b"x")
+
+    def test_out_of_range_rejected(self):
+        device, _ = make_device()
+        with pytest.raises(TranslationError):
+            device.read_sectors(device.num_sectors, 1)
+        with pytest.raises(TranslationError):
+            device.write_sectors(device.num_sectors - 1,
+                                 b"\x00" * SECTOR_SIZE * 2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 200), st.integers(1, 9), st.integers(0, 255)),
+            max_size=40,
+        )
+    )
+    def test_read_your_writes_property(self, ops):
+        device, _ = make_device(blocks=24, ppb=8)
+        shadow = bytearray(device.num_sectors * SECTOR_SIZE)
+        for lba, count, fill in ops:
+            lba %= max(1, device.num_sectors - count)
+            payload = bytes([fill]) * (count * SECTOR_SIZE)
+            device.write_sectors(lba, payload)
+            shadow[lba * SECTOR_SIZE:(lba + count) * SECTOR_SIZE] = payload
+        for lba, count, _ in ops:
+            lba %= max(1, device.num_sectors - count)
+            assert device.read_sectors(lba, count) == bytes(
+                shadow[lba * SECTOR_SIZE:(lba + count) * SECTOR_SIZE]
+            )
+
+
+class TestFormatMount:
+    def test_format_then_mount_fresh_instance(self):
+        fs, device, _ = make_fs()
+        fs.write_file("hello", b"world")
+        remounted = FatFileSystem(device, max_files=16)
+        remounted.mount()
+        assert remounted.listdir() == ["hello"]
+        assert remounted.read_file("hello") == b"world"
+
+    def test_mount_without_format_fails(self):
+        device, _ = make_device()
+        fs = FatFileSystem(device, max_files=16)
+        with pytest.raises(FileSystemError, match="magic"):
+            fs.mount()
+
+    def test_unmounted_operations_fail(self):
+        device, _ = make_device()
+        fs = FatFileSystem(device, max_files=16)
+        with pytest.raises(FileSystemError, match="mounted"):
+            fs.listdir()
+
+    def test_too_small_device_rejected(self):
+        geometry = FlashGeometry(8, 4, 2048, 1000)
+        stack = build_stack(geometry, "ftl", store_data=True, op_ratio=0.3)
+        device = BlockDevice(stack.layer)
+        with pytest.raises(FileSystemError):
+            FatFileSystem(device, max_files=512, sectors_per_cluster=64)
+
+
+class TestFileCrud:
+    def test_create_read(self):
+        fs, *_ = make_fs()
+        fs.write_file("a.txt", b"alpha")
+        assert fs.read_file("a.txt") == b"alpha"
+        assert fs.stat("a.txt").size == 5
+        assert fs.exists("a.txt")
+
+    def test_empty_file(self):
+        fs, *_ = make_fs()
+        fs.write_file("empty", b"")
+        assert fs.read_file("empty") == b""
+
+    def test_overwrite_replaces_content(self):
+        fs, *_ = make_fs()
+        fs.write_file("f", b"old" * 1000)
+        fs.write_file("f", b"new")
+        assert fs.read_file("f") == b"new"
+        assert len(fs.listdir()) == 1
+
+    def test_multi_cluster_file(self):
+        fs, *_ = make_fs()
+        payload = bytes([i % 256 for i in range(3 * 2048 + 123)])
+        fs.write_file("big", payload)
+        assert fs.read_file("big") == payload
+
+    def test_delete_frees_clusters(self):
+        fs, *_ = make_fs()
+        before = fs.free_clusters()
+        fs.write_file("f", b"x" * 8192)
+        assert fs.free_clusters() < before
+        fs.delete("f")
+        assert fs.free_clusters() == before
+        assert not fs.exists("f")
+
+    def test_missing_file_errors(self):
+        fs, *_ = make_fs()
+        with pytest.raises(FileNotFoundFsError):
+            fs.read_file("ghost")
+        with pytest.raises(FileNotFoundFsError):
+            fs.delete("ghost")
+
+    def test_append_grows_file(self):
+        fs, *_ = make_fs()
+        fs.write_file("log", b"start:")
+        for index in range(20):
+            fs.append("log", f"entry{index};".encode())
+        expected = b"start:" + b"".join(
+            f"entry{index};".encode() for index in range(20)
+        )
+        assert fs.read_file("log") == expected
+
+    def test_append_across_cluster_boundary(self):
+        fs, *_ = make_fs()
+        fs.write_file("log", b"a" * 2000)
+        fs.append("log", b"b" * 3000)
+        data = fs.read_file("log")
+        assert data == b"a" * 2000 + b"b" * 3000
+
+    def test_name_validation(self):
+        fs, *_ = make_fs()
+        with pytest.raises(FileSystemError):
+            fs.write_file("this-name-is-way-too-long", b"")
+        with pytest.raises(FileSystemError):
+            fs.write_file("", b"")
+
+    def test_directory_full(self):
+        fs, *_ = make_fs()
+        for index in range(16):
+            fs.write_file(f"f{index}", b"x")
+        with pytest.raises(FileSystemFullError, match="directory"):
+            fs.write_file("onemore", b"x")
+
+    def test_disk_full(self):
+        fs, *_ = make_fs()
+        with pytest.raises(FileSystemFullError, match="clusters"):
+            fs.write_file("huge", b"x" * (fs.num_clusters + 2) * fs.cluster_bytes)
+
+    def test_failed_write_leaks_no_clusters(self):
+        fs, *_ = make_fs()
+        free_before = fs.free_clusters()
+        with pytest.raises(FileSystemFullError):
+            fs.write_file("huge", b"x" * (fs.num_clusters + 2) * fs.cluster_bytes)
+        assert fs.free_clusters() == free_before
+        # And the device still works afterwards.
+        fs.write_file("ok", b"fine")
+        assert fs.read_file("ok") == b"fine"
+
+
+class TestPersistence:
+    def test_survives_ftl_rebuild(self):
+        # Full-stack crash: FTL loses its RAM table, rebuilds from spare
+        # areas, and the file system remounts intact on top.
+        fs, device, stack = make_fs()
+        payload = bytes(range(256)) * 16
+        fs.write_file("keep", payload)
+        fs.write_file("temp", b"junk")
+        fs.delete("temp")
+        stack.layer.rebuild_mapping()
+        remounted = FatFileSystem(device, max_files=16)
+        remounted.mount()
+        assert remounted.listdir() == ["keep"]
+        assert remounted.read_file("keep") == payload
+
+    def test_fs_workload_wears_flash(self):
+        fs, _, stack = make_fs()
+        rng = random.Random(2)
+        for round_number in range(60):
+            fs.write_file("doc", rng.randbytes(rng.randrange(1, 6000)))
+        assert stack.flash.total_erases() > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(st.sampled_from("wad"), st.integers(0, 3), st.integers(0, 4000)),
+        max_size=30,
+    )
+)
+def test_fs_matches_dict_model(steps):
+    """The file system agrees with a plain-dict reference model."""
+    fs, *_ = make_fs(blocks=32, ppb=16)
+    model: dict[str, bytes] = {}
+    names = ["f0", "f1", "f2", "f3"]
+    for op, which, size in steps:
+        name = names[which]
+        payload = bytes([which + 1]) * size
+        if op == "w":
+            try:
+                fs.write_file(name, payload)
+                model[name] = payload
+            except FileSystemFullError:
+                model.pop(name, None)
+        elif op == "a" and name in model:
+            try:
+                fs.append(name, payload)
+                model[name] += payload
+            except FileSystemFullError:
+                pass
+        elif op == "d" and name in model:
+            fs.delete(name)
+            del model[name]
+    assert sorted(fs.listdir()) == sorted(model)
+    for name, payload in model.items():
+        assert fs.read_file(name) == payload

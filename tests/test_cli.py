@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.traces.io import load_trace
+from repro.traces.stats import summarize
+
+
+class TestGenerateTrace:
+    def test_writes_csv(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        code = main([
+            "generate-trace", str(path),
+            "--sectors", "65536", "--days", "0.1", "--seed", "4",
+        ])
+        assert code == 0
+        trace = load_trace(path)
+        assert trace
+        summary = summarize(trace, 65536)
+        assert summary.written_lba_fraction == pytest.approx(0.3662, abs=0.01)
+        assert "written LBA coverage" in capsys.readouterr().out
+
+    def test_writes_binary(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        main(["generate-trace", str(path), "--sectors", "65536",
+              "--days", "0.05", "--seed", "4"])
+        assert load_trace(path)
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        argv = ["generate-trace", None, "--sectors", "65536",
+                "--days", "0.05", "--seed", "9"]
+        main([argv[0], str(a), *argv[2:]])
+        main([argv[0], str(b), *argv[2:]])
+        assert a.read_text() == b.read_text()
+
+
+class TestSimulate:
+    def test_generated_workload(self, capsys):
+        code = main([
+            "simulate", "--blocks", "24", "--scale", "100",
+            "--driver", "nftl", "-T", "10", "--days", "0.1", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Simulation report" in out
+        assert "NFTL+SWL+k=0+T=10" in out
+
+    def test_trace_file_input(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        main(["generate-trace", str(path), "--sectors", "32768",
+              "--days", "0.2", "--seed", "5"])
+        code = main([
+            "simulate", "--trace", str(path), "--blocks", "24",
+            "--scale", "100", "--driver", "ftl", "--no-swl", "--seed", "2",
+        ])
+        assert code == 0
+        assert "FTL" in capsys.readouterr().out
+
+    def test_baseline_flag(self, capsys):
+        main(["simulate", "--blocks", "24", "--scale", "100",
+              "--driver", "nftl", "--no-swl", "--days", "0.1"])
+        out = capsys.readouterr().out
+        assert "SWL" not in out
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        code = main([
+            "sweep", "--blocks", "24", "--scale", "100", "--driver", "nftl",
+            "--thresholds", "10", "--ks", "0", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "First-failure sweep" in out
+        assert "vs baseline" in out
+        assert "NFTL+SWL+k=0+T=10" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

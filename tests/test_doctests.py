@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.bet
+import repro.traces.generator
+import repro.util.bitarray
+
+MODULES = [
+    repro,
+    repro.core.bet,
+    repro.traces.generator,
+    repro.util.bitarray,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tests = doctest.testmod(module, verbose=False)
+    assert failures == 0
+    assert tests > 0, f"{module.__name__} has no doctest examples"

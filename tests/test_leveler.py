@@ -1,0 +1,249 @@
+"""Tests for the SW Leveler (paper Section 3.3, Algorithm 1).
+
+A scripted :class:`FakeHost` stands in for the Flash Translation Layer so
+every step of SWL-Procedure can be asserted in isolation; the integration
+tests exercise the leveler against the real FTL/NFTL stacks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bet import BetStore
+from repro.core.leveler import SWLeveler
+from repro.core.policies import RandomSelection
+
+
+class FakeHost:
+    """WearLevelingHost that erases the first block of each requested set."""
+
+    def __init__(self, leveler_ref: list):
+        self._leveler_ref = leveler_ref
+        self.erases = 0
+        self.copies = 0
+        self.requests: list[range] = []
+        self.free_ranges: set[int] = set()  # block-set starts to treat as free
+
+    def recycle_block_range(self, blocks: range) -> int:
+        self.requests.append(blocks)
+        if blocks.start in self.free_ranges:
+            return 0
+        self.erases += 1
+        self.copies += 3
+        # A real Cleaner erase reaches SWL-BETUpdate via the erase hook.
+        self._leveler_ref[0].on_block_erased(blocks.start)
+        return 1
+
+    def swl_cost_probe(self) -> tuple[int, int]:
+        return self.erases, self.copies
+
+
+def make_leveler(num_blocks=8, threshold=4.0, k=0, seed=1, selection=None):
+    ref: list = []
+    host = FakeHost(ref)
+    leveler = SWLeveler(
+        num_blocks,
+        host,
+        threshold=threshold,
+        k=k,
+        rng=random.Random(seed),
+        selection=selection,
+    )
+    ref.append(leveler)
+    return leveler, host
+
+
+class TestBetUpdatePath:
+    def test_on_block_erased_updates_bet(self):
+        leveler, _ = make_leveler(threshold=100)
+        leveler.on_block_erased(3)
+        assert leveler.bet.ecnt == 1
+        assert leveler.bet.is_set(3)
+
+    def test_below_threshold_no_action(self):
+        leveler, host = make_leveler(threshold=10)
+        for _ in range(5):
+            leveler.on_block_erased(0)
+        assert host.requests == []
+
+
+class TestProcedure:
+    def test_step1_returns_when_fcnt_zero(self):
+        leveler, host = make_leveler()
+        assert leveler.run_procedure() is False
+        assert host.requests == []
+
+    def test_triggers_at_threshold(self):
+        leveler, host = make_leveler(threshold=4)
+        # Three erases of block 0: ratio 3 < 4, nothing happens.
+        for _ in range(3):
+            leveler.on_block_erased(0)
+        assert host.requests == []
+        assert leveler.stats.procedure_runs == 0
+        # Fourth erase: ratio 4 >= T, the procedure levels cold sets.
+        leveler.on_block_erased(0)
+        assert host.requests  # EraseBlockSet was called
+        assert leveler.stats.procedure_runs == 1
+
+    def test_levels_until_ratio_drops(self):
+        leveler, host = make_leveler(threshold=4)
+        for _ in range(4):
+            leveler.on_block_erased(0)
+        # Each forced recycle sets a new flag (fcnt up) and erases once
+        # (ecnt up); the loop must have stopped with ratio < T.
+        assert leveler.bet.unevenness() < 4
+
+    def test_cyclic_selection_skips_set_flags(self):
+        leveler, host = make_leveler(threshold=8)
+        leveler.findex = 0
+        for _ in range(8):
+            leveler.on_block_erased(1)  # sets flag 1
+        first_targets = [r.start for r in host.requests]
+        assert 1 not in first_targets  # flag 1 was already set
+
+    def test_reset_when_all_flags_set(self):
+        leveler, host = make_leveler(num_blocks=4, threshold=2)
+        for _ in range(8):
+            leveler.on_block_erased(2)
+        # The ratio stays >= 2 until every flag is set, forcing a reset.
+        assert leveler.bet.resets >= 1
+        assert leveler.stats.bet_resets == leveler.bet.resets
+
+    def test_findex_randomized_after_reset(self):
+        # Algorithm 1 step 6: findex <- RANDOM(0, size-1).  With a known
+        # seed the value is deterministic; across seeds it varies.
+        seen = set()
+        for seed in range(12):
+            leveler, _ = make_leveler(num_blocks=8, threshold=1, seed=seed)
+            for _ in range(4):
+                leveler.on_block_erased(0)
+            seen.add(leveler.findex)
+        assert len(seen) > 1
+
+    def test_free_set_marked_without_erase(self):
+        leveler, host = make_leveler(num_blocks=4, threshold=4)
+        host.free_ranges.add(1)  # pretend block set 1 is entirely free
+        leveler.findex = 1
+        for _ in range(4):
+            leveler.on_block_erased(0)
+        assert leveler.bet.is_set(1)
+        assert leveler.stats.direct_marks >= 1
+
+    def test_terminates_with_all_free_sets(self):
+        # Pathological host that never erases anything: the procedure must
+        # still terminate via direct marks and a reset.
+        leveler, host = make_leveler(num_blocks=4, threshold=1)
+        host.free_ranges.update(range(4))
+        for _ in range(4):
+            leveler.on_block_erased(0)
+        assert leveler.bet.resets >= 1
+
+    def test_k_mode_targets_whole_sets(self):
+        leveler, host = make_leveler(num_blocks=8, threshold=8, k=2)
+        for _ in range(8):
+            leveler.on_block_erased(0)
+        assert all(len(r) == 4 or r.stop == 8 for r in host.requests)
+
+    def test_no_reentrancy(self):
+        # Erases fired from inside recycle_block_range must not recurse
+        # into another procedure run (guarded by _in_procedure).
+        leveler, host = make_leveler(num_blocks=8, threshold=1)
+        for _ in range(3):
+            leveler.on_block_erased(0)
+        # FakeHost.recycle_block_range calls on_block_erased internally;
+        # reaching here without RecursionError is the assertion, plus:
+        assert leveler.stats.procedure_runs <= leveler.stats.procedure_checks
+
+
+class TestOverheadAttribution:
+    def test_swl_costs_tracked(self):
+        leveler, host = make_leveler(num_blocks=8, threshold=4)
+        for _ in range(4):
+            leveler.on_block_erased(0)
+        assert leveler.stats.swl_erases == host.erases
+        assert leveler.stats.swl_copies == host.copies
+        assert leveler.stats.forced_recycles == host.erases
+
+
+class TestSuspension:
+    def test_suspended_defers_procedure(self):
+        leveler, host = make_leveler(threshold=4)
+        leveler.suspend()
+        for _ in range(6):
+            leveler.on_block_erased(0)
+        assert host.requests == []  # deferred
+        leveler.resume()
+        assert host.requests  # replayed at resume
+
+    def test_nested_suspension(self):
+        leveler, host = make_leveler(threshold=4)
+        leveler.suspend()
+        leveler.suspend()
+        for _ in range(6):
+            leveler.on_block_erased(0)
+        leveler.resume()
+        assert host.requests == []
+        leveler.resume()
+        assert host.requests
+
+    def test_unbalanced_resume_raises(self):
+        leveler, _ = make_leveler()
+        with pytest.raises(RuntimeError, match="matching"):
+            leveler.resume()
+
+
+class TestRandomSelectionPolicy:
+    def test_random_selection_targets_zero_flags(self):
+        leveler, host = make_leveler(
+            num_blocks=16, threshold=8, selection=RandomSelection()
+        )
+        for _ in range(8):
+            leveler.on_block_erased(5)
+        for request in host.requests:
+            assert request.start != 5 or len(request) > 1
+
+
+class TestTriggerCounters:
+    def test_on_request_advances_time(self):
+        leveler, _ = make_leveler()
+        leveler.on_request(12.5)
+        assert leveler._now == 12.5
+        assert leveler._requests_seen == 1
+
+
+class TestPersistence:
+    def test_persist_restore(self):
+        leveler, _ = make_leveler(threshold=100)
+        for block in (0, 1, 2):
+            leveler.on_block_erased(block)
+        store = BetStore()
+        leveler.persist(store)
+
+        fresh, _ = make_leveler(threshold=100)
+        assert fresh.restore(store) is True
+        assert fresh.bet.ecnt == 3
+        assert fresh.bet.is_set(1)
+
+    def test_restore_empty_store(self):
+        leveler, _ = make_leveler()
+        assert leveler.restore(BetStore()) is False
+
+    def test_restore_rejects_geometry_mismatch(self):
+        leveler, _ = make_leveler(num_blocks=8, threshold=100)
+        leveler.on_block_erased(0)
+        store = BetStore()
+        leveler.persist(store)
+        other, _ = make_leveler(num_blocks=16, threshold=100)
+        assert other.restore(store) is False
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            make_leveler(threshold=0)
+
+    def test_repr_mentions_parameters(self):
+        leveler, _ = make_leveler(threshold=7, k=0)
+        assert "T=7" in repr(leveler)

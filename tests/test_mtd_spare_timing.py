@@ -1,0 +1,113 @@
+"""Tests for the MTD layer, spare-area records, and timing models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.chip import PAGE_INVALID, PAGE_VALID, NandFlash
+from repro.flash.geometry import FlashGeometry, CellType
+from repro.flash.mtd import MtdDevice
+from repro.flash.spare import FREE_RECORD, RECORD_SIZE, PageStatus, SpareRecord
+from repro.flash.timing import MLC2_TIMING, SLC_TIMING, TimingModel, timing_for
+
+
+class TestMtd:
+    def test_requires_chip_or_geometry(self):
+        with pytest.raises(ValueError, match="geometry"):
+            MtdDevice()
+
+    def test_builds_chip_from_geometry(self, tiny_geometry):
+        mtd = MtdDevice(geometry=tiny_geometry, store_data=True)
+        mtd.write_page(0, 0, lba=5, data=b"x")
+        assert mtd.read_page(0, 0) == (5, b"x")
+
+    def test_chip_kwargs_conflict(self, chip):
+        with pytest.raises(ValueError, match="kwargs"):
+            MtdDevice(chip, store_data=True)
+
+    def test_busy_time_accumulates(self, mtd):
+        start = mtd.busy_time
+        mtd.write_page(0, 0, lba=1)
+        after_write = mtd.busy_time
+        mtd.read_page(0, 0)
+        after_read = mtd.busy_time
+        mtd.erase_block(0)
+        after_erase = mtd.busy_time
+        assert after_write == pytest.approx(start + mtd.timing.program_page)
+        assert after_read == pytest.approx(after_write + mtd.timing.read_page)
+        assert after_erase == pytest.approx(after_read + mtd.timing.erase_block)
+
+    def test_copy_page_moves_data_and_counts(self, mtd):
+        mtd.write_page(0, 0, lba=9, data=b"d")
+        mtd.copy_page((0, 0), (1, 0))
+        assert mtd.flash.page_state(0, 0) == PAGE_INVALID
+        assert mtd.flash.page_state(1, 0) == PAGE_VALID
+        assert mtd.read_page(1, 0) == (9, b"d")
+
+    def test_erase_listener_passthrough(self, mtd):
+        seen = []
+        mtd.add_erase_listener(seen.append)
+        mtd.erase_block(2)
+        assert seen == [2]
+
+    def test_counters_and_erase_counts_views(self, mtd):
+        mtd.write_page(0, 0, lba=1)
+        mtd.erase_block(0)
+        assert mtd.counters.programs == 1
+        assert mtd.erase_counts[0] == 1
+
+
+class TestSpareRecord:
+    def test_roundtrip(self):
+        record = SpareRecord(lba=123456, status=PageStatus.LIVE)
+        assert SpareRecord.decode(record.encode()) == record
+
+    def test_encoded_size(self):
+        assert len(SpareRecord(lba=1, status=PageStatus.LIVE).encode()) == RECORD_SIZE
+
+    def test_free_record(self):
+        assert FREE_RECORD.lba == -1
+        assert SpareRecord.decode(FREE_RECORD.encode()) == FREE_RECORD
+
+    def test_crc_detects_corruption(self):
+        raw = bytearray(SpareRecord(lba=7, status=PageStatus.LIVE).encode())
+        raw[0] ^= 0xFF
+        with pytest.raises(ValueError, match="CRC"):
+            SpareRecord.decode(bytes(raw))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="bytes"):
+            SpareRecord.decode(b"\x00")
+
+    def test_unknown_status_rejected(self):
+        import struct
+        import zlib
+
+        body = struct.pack("<iB", 1, 0x55)
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        raw = struct.pack("<iBxxxI", 1, 0x55, crc)
+        with pytest.raises(ValueError, match="status"):
+            SpareRecord.decode(raw)
+
+
+class TestTiming:
+    def test_paper_erase_latency(self):
+        # Section 4.2: block erase "about 1.5ms over a 1GB MLC x2".
+        assert MLC2_TIMING.erase_block == pytest.approx(1.5e-3)
+
+    def test_mlc_programs_slower_than_slc(self):
+        assert MLC2_TIMING.program_page > SLC_TIMING.program_page
+
+    def test_copy_page_time(self):
+        model = TimingModel(read_page=1.0, program_page=2.0, erase_block=3.0)
+        assert model.copy_page_time() == 3.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(read_page=-1.0, program_page=0.0, erase_block=0.0)
+
+    def test_timing_for_cell_type(self):
+        mlc = FlashGeometry(4, 4, 2048, 10, cell_type=CellType.MLC2)
+        slc = FlashGeometry(4, 4, 2048, 10, cell_type=CellType.SLC)
+        assert timing_for(mlc) is MLC2_TIMING
+        assert timing_for(slc) is SLC_TIMING

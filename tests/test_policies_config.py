@@ -1,0 +1,168 @@
+"""Tests for selection/trigger policies and the SWLConfig sweep helper."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bet import BlockErasingTable
+from repro.core.config import (
+    DISABLED,
+    PAPER_K_VALUES,
+    PAPER_THRESHOLDS,
+    SWLConfig,
+    paper_sweep,
+)
+from repro.core.policies import (
+    EveryNRequestsTrigger,
+    OnEraseTrigger,
+    PeriodicTrigger,
+    RandomSelection,
+    SequentialSelection,
+    make_selection_policy,
+)
+
+
+class TestSequentialSelection:
+    def test_picks_next_zero(self):
+        bet = BlockErasingTable(8)
+        bet.record_erase(0)
+        bet.record_erase(1)
+        policy = SequentialSelection()
+        assert policy.select(bet, 0, random.Random(1)) == 2
+
+    def test_returns_none_when_full(self):
+        bet = BlockErasingTable(4)
+        for block in range(4):
+            bet.record_erase(block)
+        assert SequentialSelection().select(bet, 0, random.Random(1)) is None
+
+
+class TestRandomSelection:
+    def test_only_zero_flags_chosen(self):
+        bet = BlockErasingTable(16)
+        for block in range(12):
+            bet.record_erase(block)
+        policy = RandomSelection()
+        rng = random.Random(3)
+        for _ in range(20):
+            choice = policy.select(bet, 0, rng)
+            assert choice in {12, 13, 14, 15}
+
+    def test_returns_none_when_full(self):
+        bet = BlockErasingTable(4)
+        for block in range(4):
+            bet.record_erase(block)
+        assert RandomSelection().select(bet, 0, random.Random(1)) is None
+
+    def test_uniformish_coverage(self):
+        bet = BlockErasingTable(8)
+        policy = RandomSelection()
+        rng = random.Random(5)
+        seen = {policy.select(bet, 0, rng) for _ in range(200)}
+        assert seen == set(range(8))
+
+
+class TestSelectionFactory:
+    def test_known_names(self):
+        assert isinstance(make_selection_policy("sequential"), SequentialSelection)
+        assert isinstance(make_selection_policy("random"), RandomSelection)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown selection"):
+            make_selection_policy("zigzag")
+
+
+class TestTriggers:
+    def test_on_erase_always_checks(self):
+        trigger = OnEraseTrigger()
+        assert trigger.should_check(erases=0, requests=0, now=0.0)
+        assert trigger.should_check(erases=5, requests=9, now=1.0)
+
+    def test_every_n_requests(self):
+        trigger = EveryNRequestsTrigger(10)
+        fires = [
+            trigger.should_check(erases=0, requests=r, now=0.0) for r in range(25)
+        ]
+        assert fires.count(True) == 3  # buckets 0, 1, 2
+
+    def test_every_n_requires_positive(self):
+        with pytest.raises(ValueError):
+            EveryNRequestsTrigger(0)
+
+    def test_periodic(self):
+        trigger = PeriodicTrigger(10.0)
+        assert trigger.should_check(erases=0, requests=0, now=0.0)
+        assert not trigger.should_check(erases=0, requests=0, now=5.0)
+        assert trigger.should_check(erases=0, requests=0, now=10.0)
+        assert not trigger.should_check(erases=0, requests=0, now=19.0)
+
+    def test_periodic_requires_positive(self):
+        with pytest.raises(ValueError):
+            PeriodicTrigger(0.0)
+
+
+class TestSWLConfig:
+    def test_label(self):
+        assert SWLConfig(threshold=100, k=2).label() == "SWL+k=2+T=100"
+        assert DISABLED.label() == "baseline"
+
+    def test_disabled_builds_none(self):
+        assert DISABLED.build(8, host=None) is None
+
+    def test_build_wires_parameters(self):
+        class Host:
+            def recycle_block_range(self, blocks):
+                return 0
+
+            def swl_cost_probe(self):
+                return (0, 0)
+
+        leveler = SWLConfig(threshold=50, k=1, selection="random").build(16, Host())
+        assert leveler is not None
+        assert leveler.threshold == 50
+        assert leveler.bet.k == 1
+        assert isinstance(leveler.selection, RandomSelection)
+
+    def test_trigger_variants(self):
+        class Host:
+            def recycle_block_range(self, blocks):
+                return 0
+
+            def swl_cost_probe(self):
+                return (0, 0)
+
+        request_cfg = SWLConfig(trigger="every-n-requests", trigger_param=100)
+        periodic_cfg = SWLConfig(trigger="periodic", trigger_param=60.0)
+        assert isinstance(request_cfg.build(8, Host()).trigger, EveryNRequestsTrigger)
+        assert isinstance(periodic_cfg.build(8, Host()).trigger, PeriodicTrigger)
+
+    def test_unknown_trigger(self):
+        with pytest.raises(ValueError, match="trigger"):
+            SWLConfig(trigger="sometimes")._make_trigger()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SWLConfig(threshold=0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SWLConfig(k=-1)
+
+    def test_disabled_skips_threshold_check(self):
+        # The baseline label carries no SWL parameters to validate.
+        assert SWLConfig(enabled=False, threshold=-5).label() == "baseline"
+
+
+class TestPaperSweep:
+    def test_matrix_is_full_cross_product(self):
+        sweep = paper_sweep()
+        assert len(sweep) == len(PAPER_K_VALUES) * len(PAPER_THRESHOLDS)
+        labels = {config.label() for config in sweep}
+        assert "SWL+k=0+T=100" in labels
+        assert "SWL+k=3+T=1000" in labels
+
+    def test_paper_constants(self):
+        assert PAPER_THRESHOLDS == (100, 400, 700, 1000)
+        assert PAPER_K_VALUES == (0, 1, 2, 3)

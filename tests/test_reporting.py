@@ -1,0 +1,93 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimResult, WearSample
+from repro.sim.metrics import EraseDistribution
+from repro.sim.reporting import markdown_report, save_report
+
+
+def make_result(label, *, failure_days=2.0, timeline=False, swl=False):
+    samples = []
+    if timeline:
+        samples = [
+            WearSample(time=t, average=t / 100, deviation=t / 50,
+                       maximum=int(t), total_erases=int(t * 2))
+            for t in (100.0, 200.0, 300.0)
+        ]
+    return SimResult(
+        label=label,
+        requests=1000,
+        pages_written=5000,
+        pages_read=100,
+        sim_time=failure_days * 86_400 if failure_days else 86_400,
+        first_failure_time=failure_days * 86_400 if failure_days else None,
+        erase_distribution=EraseDistribution.from_counts([1, 2, 3]),
+        total_erases=6,
+        live_page_copies=42,
+        gc_runs=3,
+        layer_stats={},
+        swl_stats={"swl_erases": 7, "bet_resets": 2} if swl else {},
+        timeline=samples,
+    )
+
+
+class TestMarkdownReport:
+    def test_summary_table_present(self):
+        report = markdown_report([make_result("FTL"), make_result("FTL+SWL",
+                                                                  failure_days=3.0)])
+        assert "# Wear-leveling simulation report" in report
+        assert "| FTL |" in report
+        assert "+50.0%" in report
+
+    def test_custom_baseline(self):
+        report = markdown_report(
+            [make_result("A", failure_days=4.0), make_result("B", failure_days=2.0)],
+            baseline_label="B",
+        )
+        assert "+100.0%" in report
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError, match="labelled"):
+            markdown_report([make_result("A")], baseline_label="Z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_report([])
+
+    def test_no_failure_row(self):
+        report = markdown_report([make_result("A", failure_days=None)])
+        assert "no failure" in report
+
+    def test_swl_stats_section(self):
+        report = markdown_report([make_result("X", swl=True)])
+        assert "SWL swl erases" in report
+        assert "| 7 |" in report
+
+    def test_timeline_sparklines(self):
+        report = markdown_report([make_result("X", timeline=True)])
+        assert "Wear evolution" in report
+        assert "deviation `" in report
+
+    def test_save_report(self, tmp_path):
+        path = tmp_path / "out.md"
+        save_report(str(path), [make_result("A")], title="T")
+        assert path.read_text().startswith("# T")
+
+
+class TestCliReportFlag:
+    def test_sweep_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "sweep.md"
+        code = main([
+            "sweep", "--blocks", "24", "--scale", "100", "--driver", "nftl",
+            "--thresholds", "10", "--ks", "0", "--report", str(path),
+        ])
+        assert code == 0
+        text = path.read_text()
+        assert "first-failure sweep" in text
+        assert "NFTL+SWL+k=0+T=10" in text
+        assert "markdown report written" in capsys.readouterr().out

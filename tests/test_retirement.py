@@ -1,0 +1,146 @@
+"""Tests for grown-bad-block retirement (device end-of-life model)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import SWLConfig
+from repro.flash.errors import OutOfSpaceError
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.factory import build_stack
+
+
+def worn_geometry():
+    """Tiny chip with minuscule endurance so retirement happens fast."""
+    return FlashGeometry(24, 8, 512, 30, name="retire-test")
+
+
+class TestRetirementMechanics:
+    def test_worn_blocks_leave_service(self):
+        stack = build_stack(worn_geometry(), "ftl", retire_worn=True)
+        layer = stack.layer
+        rng = random.Random(1)
+        try:
+            for _ in range(100_000):
+                layer.write(rng.randrange(8))
+        except OutOfSpaceError:
+            pass
+        assert layer.retired_blocks
+        for block in layer.retired_blocks:
+            assert not layer.allocator.contains(block)
+            assert stack.flash.erase_counts[block] > worn_geometry().endurance
+
+    def test_retired_blocks_never_erased_again(self):
+        stack = build_stack(worn_geometry(), "ftl", retire_worn=True)
+        layer = stack.layer
+        rng = random.Random(2)
+        wear_at_retirement: dict[int, int] = {}
+        try:
+            for _ in range(100_000):
+                layer.write(rng.randrange(8))
+                for block in layer.retired_blocks:
+                    wear_at_retirement.setdefault(
+                        block, stack.flash.erase_counts[block]
+                    )
+        except OutOfSpaceError:
+            pass
+        for block, wear in wear_at_retirement.items():
+            assert stack.flash.erase_counts[block] == wear
+
+    def test_device_reaches_end_of_life(self):
+        stack = build_stack(worn_geometry(), "ftl", retire_worn=True)
+        layer = stack.layer
+        rng = random.Random(3)
+        with pytest.raises(OutOfSpaceError):
+            for _ in range(10_000_000):
+                layer.write(rng.randrange(8))
+        # The chip lost real capacity before giving up.
+        assert len(layer.retired_blocks) >= 1
+
+    def test_data_intact_until_eol(self):
+        stack = build_stack(worn_geometry(), "ftl", retire_worn=True,
+                            store_data=True)
+        layer = stack.layer
+        cold = {}
+        for lpn in range(32, 64):
+            payload = lpn.to_bytes(2, "little")
+            layer.write(lpn, data=payload)
+            cold[lpn] = payload
+        rng = random.Random(4)
+        try:
+            for _ in range(10_000_000):
+                layer.write(rng.randrange(8), data=b"hot!")
+        except OutOfSpaceError:
+            pass
+        for lpn, payload in cold.items():
+            assert layer.read(lpn) == payload
+
+    def test_nftl_retirement(self):
+        stack = build_stack(worn_geometry(), "nftl", retire_worn=True)
+        layer = stack.layer
+        rng = random.Random(5)
+        try:
+            for _ in range(10_000_000):
+                layer.write(rng.randrange(8))
+        except OutOfSpaceError:
+            pass
+        assert layer.retired_blocks
+        assert layer.stats.extra["retired"] == len(layer.retired_blocks)
+
+    def test_disabled_by_default(self):
+        stack = build_stack(worn_geometry(), "ftl")
+        layer = stack.layer
+        rng = random.Random(6)
+        for _ in range(30_000):
+            layer.write(rng.randrange(8))
+        assert stack.flash.worn_blocks       # wear-out happened...
+        assert not layer.retired_blocks      # ...but nothing was retired
+
+
+class TestRetirementWithSWL:
+    def test_swl_delays_first_retirement(self):
+        """Static wear leveling postpones capacity loss — the usable-
+        lifetime version of the paper's first-failure claim."""
+
+        def writes_until_first_retirement(with_swl: bool) -> int:
+            stack = build_stack(
+                worn_geometry(), "ftl",
+                SWLConfig(threshold=3, k=0) if with_swl else None,
+                retire_worn=True,
+                rng=random.Random(0),
+            )
+            layer = stack.layer
+            # Pin cold data on half the chip.
+            for lpn in range(64, 128):
+                layer.write(lpn)
+            rng = random.Random(7)
+            count = 0
+            try:
+                while not layer.retired_blocks and count < 2_000_000:
+                    layer.write(rng.randrange(16))
+                    count += 1
+            except OutOfSpaceError:
+                pass
+            return count
+
+        baseline = writes_until_first_retirement(False)
+        leveled = writes_until_first_retirement(True)
+        assert leveled > baseline
+
+    def test_swl_survives_retirements(self):
+        stack = build_stack(
+            worn_geometry(), "nftl", SWLConfig(threshold=3, k=0),
+            retire_worn=True, rng=random.Random(0),
+        )
+        layer = stack.layer
+        rng = random.Random(8)
+        try:
+            for _ in range(10_000_000):
+                layer.write(rng.randrange(32))
+        except OutOfSpaceError:
+            pass
+        assert layer.retired_blocks
+        # The leveler kept functioning (no crash, BET consistent).
+        assert stack.leveler.bet.fcnt <= stack.leveler.bet.size

@@ -1,0 +1,179 @@
+"""Tests for the simulation engine, stop conditions, and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SWLConfig
+from repro.ftl.factory import build_stack
+from repro.sim.engine import Simulator, StopCondition
+from repro.sim.metrics import (
+    EraseDistribution,
+    first_failure_years,
+    improvement_ratio,
+    increased_ratio,
+    unevenness_of,
+)
+from repro.traces.model import Op, Request
+
+
+def write(time, lba, sectors=1):
+    return Request(time, Op.WRITE, lba, sectors)
+
+
+def read(time, lba, sectors=1):
+    return Request(time, Op.READ, lba, sectors)
+
+
+class TestStopCondition:
+    def test_needs_some_criterion(self):
+        with pytest.raises(ValueError, match="stop criterion"):
+            StopCondition()
+
+    @pytest.mark.parametrize("kwargs", [{"max_time": 0}, {"max_requests": 0}])
+    def test_positive_bounds(self, kwargs):
+        with pytest.raises(ValueError):
+            StopCondition(**kwargs)
+
+
+class TestSimulatorBasics:
+    def test_sector_to_page_conversion(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        spp = small_geometry.sectors_per_page
+        # One request spanning 2.5 pages touches 3 logical pages.
+        simulator.apply(write(0.0, 0, sectors=2 * spp + 1))
+        assert simulator.pages_written == 3
+
+    def test_clock_advances_monotonically(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        simulator.apply(write(5.0, 0))
+        simulator.apply(write(3.0, 0))  # out-of-order time is clamped
+        assert simulator.clock == 5.0
+
+    def test_reads_and_writes_counted(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        simulator.apply(write(0.0, 0))
+        simulator.apply(read(1.0, 0))
+        assert simulator.pages_written == 1
+        assert simulator.pages_read == 1
+        assert simulator.requests_done == 2
+
+    def test_lba_modulo_wraps(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        big_lba = stack.layer.num_logical_pages * small_geometry.sectors_per_page * 3
+        simulator.apply(write(0.0, big_lba))  # must not raise
+        assert simulator.pages_written == 1
+
+    def test_lba_strict_raises(self, small_geometry):
+        from repro.flash.errors import TranslationError
+
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack, lba_modulo=False)
+        big_lba = stack.layer.num_logical_pages * small_geometry.sectors_per_page * 3
+        with pytest.raises(TranslationError):
+            simulator.apply(write(0.0, big_lba))
+
+    def test_skip_reads_counts_but_does_not_touch(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack, skip_reads=True)
+        simulator.apply(read(0.0, 0, sectors=8))
+        assert simulator.pages_read == 2  # 8 sectors / 4 per page
+        assert stack.layer.stats.host_reads == 0
+
+
+class TestRun:
+    def test_max_requests(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        trace = [write(float(i), i % 8) for i in range(100)]
+        result = simulator.run(trace, StopCondition(max_requests=10))
+        assert result.requests == 10
+
+    def test_max_time(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        trace = [write(float(i), i % 8) for i in range(100)]
+        result = simulator.run(trace, StopCondition(max_time=50.0))
+        assert result.sim_time <= 50.0
+        assert result.requests == 51  # times 0..50 inclusive
+
+    def test_until_first_failure(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        trace = (write(float(i), i % 4) for i in range(10**9))
+        result = simulator.run(
+            trace, StopCondition(until_first_failure=True, max_requests=10**9)
+        )
+        assert result.first_failure_time is not None
+        assert stack.flash.first_failure is not None
+
+    def test_failure_clock_pinned_when_run_continues(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+
+        def endless():
+            step = 0
+            while True:
+                yield write(float(step), step % 4)
+                step += 1
+
+        # Run far past the first failure under a request budget.
+        result = simulator.run(endless(), StopCondition(max_requests=200_000))
+        assert result.first_failure_time is not None
+        assert result.first_failure_time < result.sim_time
+
+    def test_result_label_defaults_to_stack_name(self, small_geometry):
+        stack = build_stack(small_geometry, "nftl", SWLConfig(threshold=10))
+        simulator = Simulator(stack)
+        result = simulator.run([write(0.0, 0)], StopCondition(max_requests=1))
+        assert result.label == stack.name
+        assert "swl_erases" in result.as_dict() or result.swl_stats
+
+    def test_result_as_dict_keys(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        result = simulator.run([write(0.0, 0)], StopCondition(max_requests=1),
+                               label="X")
+        data = result.as_dict()
+        assert data["label"] == "X"
+        assert data["requests"] == 1
+        assert data["erase_max"] == 0
+
+
+class TestMetrics:
+    def test_erase_distribution(self):
+        distribution = EraseDistribution.from_counts([0, 10, 20])
+        assert distribution.average == pytest.approx(10.0)
+        assert distribution.maximum == 20
+        assert distribution.minimum == 0
+        assert distribution.total == 30
+        assert distribution.deviation == pytest.approx(8.1649, rel=1e-3)
+        assert distribution.row() == [10, 8, 20]
+
+    def test_erase_distribution_empty(self):
+        with pytest.raises(ValueError):
+            EraseDistribution.from_counts([])
+
+    def test_first_failure_years(self):
+        assert first_failure_years(None) is None
+        assert first_failure_years(365 * 86_400.0) == pytest.approx(1.0)
+
+    def test_increased_ratio(self):
+        assert increased_ratio(103.5, 100.0) == pytest.approx(103.5)
+        with pytest.raises(ValueError):
+            increased_ratio(1.0, 0.0)
+
+    def test_improvement_ratio_paper_headline(self):
+        # Paper: FTL first failure improved by 51.2%.
+        assert improvement_ratio(151.2, 100.0) == pytest.approx(51.2)
+
+    def test_unevenness_of(self):
+        assert unevenness_of([5, 5, 5]) == pytest.approx(1.0)
+        assert unevenness_of([0, 0, 30]) == pytest.approx(3.0)
+        assert unevenness_of([0, 0]) == 0.0
+        with pytest.raises(ValueError):
+            unevenness_of([])

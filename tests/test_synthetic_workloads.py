@@ -1,0 +1,133 @@
+"""Tests for the additional synthetic workload families."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces.model import Op
+from repro.traces.synthetic import (
+    SequentialLogWorkload,
+    SyntheticParams,
+    UniformWorkload,
+    ZipfianWorkload,
+    theoretical_skew,
+)
+
+
+def params(**overrides):
+    defaults = dict(total_sectors=4096, duration=600.0, write_rate=20.0,
+                    request_sectors=8, pinned_fraction=0.5, seed=1)
+    defaults.update(overrides)
+    return SyntheticParams(**defaults)
+
+
+class TestParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_sectors": 0},
+            {"duration": 0},
+            {"write_rate": 0},
+            {"request_sectors": 0},
+            {"pinned_fraction": 1.0},
+            {"pinned_fraction": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            params(**kwargs)
+
+    def test_region_split(self):
+        p = params(total_sectors=1000, pinned_fraction=0.3)
+        assert p.pinned_sectors == 300
+        assert p.active_sectors == 700
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "factory",
+        [UniformWorkload, SequentialLogWorkload,
+         lambda p: ZipfianWorkload(p, alpha=1.0)],
+        ids=["uniform", "log", "zipf"],
+    )
+    def test_stream_well_formed(self, factory):
+        p = params()
+        workload = factory(p)
+        trace = workload.requests()
+        assert trace
+        last = 0.0
+        for request in trace:
+            assert request.op is Op.WRITE
+            assert request.time >= last
+            last = request.time
+            assert p.pinned_sectors <= request.lba < p.total_sectors
+            assert request.end_lba <= p.total_sectors
+
+    @pytest.mark.parametrize(
+        "factory",
+        [UniformWorkload, SequentialLogWorkload,
+         lambda p: ZipfianWorkload(p, alpha=1.0)],
+        ids=["uniform", "log", "zipf"],
+    )
+    def test_deterministic(self, factory):
+        assert factory(params()).requests() == factory(params()).requests()
+
+    def test_prefill_covers_pinned_region(self):
+        p = params()
+        workload = UniformWorkload(p)
+        covered = set()
+        for request in workload.prefill_requests():
+            covered.update(range(request.lba, request.end_lba))
+        assert covered == set(range(p.pinned_sectors))
+
+    def test_rate_approximately_honoured(self):
+        p = params(duration=3600.0, write_rate=5.0)
+        trace = UniformWorkload(p).requests()
+        assert len(trace) == pytest.approx(5.0 * 3600.0, rel=0.1)
+
+
+class TestSkewOrdering:
+    def test_zipf_skews_more_than_uniform(self):
+        p = params()
+        uniform = theoretical_skew(UniformWorkload(p))
+        zipf = theoretical_skew(ZipfianWorkload(p, alpha=1.2))
+        assert zipf > uniform
+
+    def test_log_workload_cycles_evenly(self):
+        p = params()
+        skew = theoretical_skew(SequentialLogWorkload(p))
+        assert skew < 0.2  # round-robin: near-uniform chunk popularity
+
+    def test_higher_alpha_more_skew(self):
+        p = params()
+        mild = theoretical_skew(ZipfianWorkload(p, alpha=0.6))
+        steep = theoretical_skew(ZipfianWorkload(p, alpha=2.0))
+        assert steep > mild
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianWorkload(params(), alpha=0)
+
+
+class TestLogCursor:
+    def test_wraps_cleanly(self):
+        p = params(total_sectors=256, pinned_fraction=0.5, request_sectors=16,
+                   duration=10_000.0, write_rate=1.0)
+        workload = SequentialLogWorkload(p)
+        lbas = [workload._next_lba() for _ in range(20)]
+        # 128 active sectors / 16 per request = 8 distinct positions.
+        assert sorted(set(lbas)) == [128 + 16 * i for i in range(8)]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    pinned=st.floats(0.0, 0.9),
+)
+def test_streams_never_touch_pinned_region(seed, pinned):
+    p = params(seed=seed, pinned_fraction=pinned)
+    for workload in (UniformWorkload(p), SequentialLogWorkload(p),
+                     ZipfianWorkload(p, alpha=1.0)):
+        for request in list(workload.iter_requests())[:200]:
+            assert request.lba >= p.pinned_sectors

@@ -1,0 +1,101 @@
+"""End-to-end tests of the alternative SWL trigger policies.
+
+Paper Section 3.1: "The implementation of the SW Leveler could be a
+thread or a procedure triggered by a timer or the Allocator/Cleaner based
+on some preset conditions."  The default (Cleaner-triggered, checked on
+every erase) is exercised everywhere else; these tests drive the
+request-count and timer variants through the simulation engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SWLConfig
+from repro.ftl.factory import build_stack
+from repro.sim.engine import Simulator, StopCondition
+from repro.traces.model import Op, Request
+
+
+def hot_trace(count: int, spacing: float = 1.0):
+    for index in range(count):
+        yield Request(index * spacing, Op.WRITE, (index % 32) * 4, 4)
+
+
+def cold_plus_hot_stack(geometry, trigger: str, trigger_param: float):
+    stack = build_stack(
+        geometry,
+        "ftl",
+        SWLConfig(threshold=5, k=0, trigger=trigger, trigger_param=trigger_param),
+    )
+    layer = stack.layer
+    # Pin cold data so the leveler has something to move.
+    for lpn in range(layer.num_logical_pages // 2, layer.num_logical_pages):
+        layer.write(lpn)
+    return stack
+
+
+class TestRequestCountTrigger:
+    def test_levels_on_request_boundaries(self, small_geometry):
+        stack = cold_plus_hot_stack(small_geometry, "every-n-requests", 500)
+        simulator = Simulator(stack)
+        simulator.run(hot_trace(30_000), StopCondition(max_requests=30_000))
+        assert stack.leveler.stats.forced_recycles > 0
+        assert stack.leveler.stats.procedure_checks > 0
+
+    def test_check_frequency_respects_n(self, small_geometry):
+        sparse = cold_plus_hot_stack(small_geometry, "every-n-requests", 10_000)
+        dense = cold_plus_hot_stack(small_geometry, "every-n-requests", 100)
+        for stack in (sparse, dense):
+            simulator = Simulator(stack)
+            simulator.run(hot_trace(20_000), StopCondition(max_requests=20_000))
+        assert (
+            dense.leveler.stats.procedure_checks
+            > sparse.leveler.stats.procedure_checks
+        )
+
+
+class TestPeriodicTrigger:
+    def test_levels_on_simulated_time(self, small_geometry):
+        stack = cold_plus_hot_stack(small_geometry, "periodic", 300.0)
+        simulator = Simulator(stack)
+        simulator.run(hot_trace(30_000, spacing=0.5),
+                      StopCondition(max_requests=30_000))
+        assert stack.leveler.stats.forced_recycles > 0
+
+    def test_long_period_checks_rarely(self, small_geometry):
+        stack = cold_plus_hot_stack(small_geometry, "periodic", 10_000.0)
+        simulator = Simulator(stack)
+        simulator.run(hot_trace(5_000, spacing=0.5),
+                      StopCondition(max_requests=5_000))
+        # 5000 requests * 0.5s = 2500s simulated -> at most one period.
+        assert stack.leveler.stats.procedure_checks <= 2
+
+
+class TestOnEraseDefaultEquivalence:
+    def test_all_triggers_eventually_level(self, small_geometry):
+        deviations = {}
+        for trigger, param in (
+            ("on-erase", 0.0),
+            ("every-n-requests", 1_000),
+            ("periodic", 600.0),
+        ):
+            stack = cold_plus_hot_stack(small_geometry, trigger, param)
+            simulator = Simulator(stack)
+            simulator.run(hot_trace(40_000), StopCondition(max_requests=40_000))
+            counts = stack.flash.erase_counts
+            mean = sum(counts) / len(counts)
+            deviations[trigger] = (
+                sum((c - mean) ** 2 for c in counts) / len(counts)
+            ) ** 0.5
+        baseline_stack = build_stack(small_geometry, "ftl")
+        layer = baseline_stack.layer
+        for lpn in range(layer.num_logical_pages // 2, layer.num_logical_pages):
+            layer.write(lpn)
+        simulator = Simulator(baseline_stack)
+        simulator.run(hot_trace(40_000), StopCondition(max_requests=40_000))
+        counts = baseline_stack.flash.erase_counts
+        mean = sum(counts) / len(counts)
+        baseline_dev = (sum((c - mean) ** 2 for c in counts) / len(counts)) ** 0.5
+        for trigger, deviation in deviations.items():
+            assert deviation < baseline_dev, (trigger, deviation, baseline_dev)
