@@ -21,7 +21,7 @@ import tempfile
 from pathlib import Path
 
 from repro import MLC2_TINY, SWLConfig, build_stack
-from repro.core.bet import BetStore
+from repro.core.bet import BetStore, BlockErasingTable
 
 
 def main() -> None:
@@ -54,8 +54,14 @@ def main() -> None:
               f"BET saved with ecnt={saved_ecnt}, fcnt={leveler.bet.fcnt}")
 
         # --- Crash: the newest buffer is torn mid-write ------------------
-        newest = Path(paths[0]) if Path(paths[0]).stat().st_mtime >= Path(
-            paths[1]).stat().st_mtime else Path(paths[1])
+        # Pick the newest image by its embedded sequence number — that is
+        # what the loader trusts; mtime has filesystem granularity and two
+        # back-to-back saves can share a timestamp.
+        def slot_sequence(path: Path) -> int:
+            _, sequence = BlockErasingTable.from_bytes(path.read_bytes())
+            return sequence
+
+        newest = max((Path(p) for p in paths), key=slot_sequence)
         image = bytearray(newest.read_bytes())
         image[-3] ^= 0xFF
         newest.write_bytes(bytes(image))

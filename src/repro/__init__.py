@@ -35,6 +35,13 @@ from repro.core import (
     SWLeveler,
     paper_sweep,
 )
+from repro.fault import (
+    CrashConsistencyHarness,
+    FaultCampaignResult,
+    FaultInjector,
+    FaultPlan,
+    run_fault_campaign,
+)
 from repro.flash import (
     MLC2_1GB,
     MLC2_BENCH,
@@ -75,9 +82,13 @@ __all__ = [
     "BetStore",
     "BlockDevice",
     "BlockErasingTable",
+    "CrashConsistencyHarness",
     "DualPoolLeveler",
     "ExperimentSpec",
     "FatFileSystem",
+    "FaultCampaignResult",
+    "FaultInjector",
+    "FaultPlan",
     "FlashGeometry",
     "MLC2_1GB",
     "MLC2_BENCH",
@@ -104,6 +115,7 @@ __all__ = [
     "markdown_report",
     "mlc2",
     "paper_sweep",
+    "run_fault_campaign",
     "run_fixed_horizon",
     "run_until_first_failure",
     "slc_large_block",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the library's main workflows without writing code:
+Four commands cover the library's main workflows without writing code:
 
 ``generate-trace``
     Synthesize a mobile-PC trace (Section 5.1 statistics) to a file.
@@ -10,6 +10,10 @@ Three commands cover the library's main workflows without writing code:
 ``sweep``
     Run the paper's k x T first-failure sweep for one driver and print a
     Figure 5-style table.
+``faults``
+    Run a fault-injection campaign (transient-fault soak plus a swept
+    power-loss crash-consistency check) and report the verdict; exits
+    non-zero on any invariant violation.
 
 Every command accepts ``--seed`` and is fully deterministic.
 """
@@ -21,6 +25,8 @@ import sys
 from dataclasses import replace
 
 from repro.core.config import SWLConfig
+from repro.fault.campaign import run_fault_campaign
+from repro.fault.plan import FaultPlan
 from repro.sim.experiment import (
     ExperimentSpec,
     make_workload,
@@ -29,7 +35,7 @@ from repro.sim.experiment import (
     workload_params_for,
 )
 from repro.sim.metrics import improvement_ratio
-from repro.sim.reporting import save_report
+from repro.sim.reporting import fault_campaign_report, save_report
 from repro.traces.generator import DAY, WorkloadParams
 from repro.traces.io import load_trace, save_trace
 from repro.traces.stats import summarize
@@ -87,6 +93,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--report", metavar="PATH",
                        help="also write a markdown report to PATH")
     _add_stack_arguments(sweep)
+
+    faults = commands.add_parser(
+        "faults", help="run a fault-injection and crash-consistency campaign"
+    )
+    faults.add_argument("--erase-fail-prob", type=float, default=0.02,
+                        help="transient erase-failure probability (default: 0.02)")
+    faults.add_argument("--erase-weibull-shape", type=float, default=None,
+                        help="wear-dependent erase hazard shape; omit for a "
+                             "flat rate")
+    faults.add_argument("--program-fail-prob", type=float, default=0.001,
+                        help="per-program grown-bad probability (default: 0.001)")
+    faults.add_argument("--read-ber", type=float, default=1e-8,
+                        help="raw read bit-error rate (default: 1e-8)")
+    faults.add_argument("--soak-writes", type=int, default=2000,
+                        help="host writes in the transient-fault soak "
+                             "(default: 2000)")
+    faults.add_argument("--loss-points", type=int, default=50,
+                        help="power-loss points swept in the crash phase "
+                             "(default: 50)")
+    faults.add_argument("--report", metavar="PATH",
+                        help="also write a markdown campaign report to PATH")
+    _add_stack_arguments(faults)
     return parser
 
 
@@ -184,6 +212,58 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_faults(args: argparse.Namespace) -> int:
+    geometry = scaled_mlc2_geometry(args.blocks, scale=args.scale)
+    swl = None if args.no_swl else SWLConfig(threshold=args.threshold, k=args.k)
+    plan = FaultPlan(
+        seed=args.seed + 1,
+        erase_fail_prob=args.erase_fail_prob,
+        erase_weibull_shape=args.erase_weibull_shape,
+        program_fail_prob=args.program_fail_prob,
+        read_ber=args.read_ber,
+    )
+    result = run_fault_campaign(
+        geometry,
+        args.driver,
+        swl,
+        plan=plan,
+        seed=args.seed,
+        soak_writes=args.soak_writes,
+        loss_points=args.loss_points,
+    )
+    crash = result.crash_report
+    recovery = result.recovery_summary()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["configuration", result.label],
+            ["verdict", "PASS" if result.ok else "FAIL"],
+            ["soak writes acknowledged", result.soak_writes],
+            ["blocks retired", result.retired_blocks],
+            ["erase faults injected",
+             result.injector_stats.get("erase_faults", 0)],
+            ["program faults injected",
+             result.injector_stats.get("program_faults", 0)],
+            ["read errors corrected",
+             result.injector_stats.get("read_errors_corrected", 0)],
+            ["recovery copies", recovery.recovery_copies],
+            ["recovery erase overhead",
+             f"{recovery.recovery_erase_overhead:.2f}%"],
+            ["loss points swept / fired",
+             f"{len(crash.verdicts)} / {crash.crashes}"],
+            ["invariant violations", len(result.violations)],
+        ],
+        title="Fault campaign report",
+    ))
+    for violation in result.violations:
+        print(f"  violation: {violation}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(fault_campaign_report(result))
+        print(f"\nmarkdown report written to {args.report}")
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -191,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate-trace": _command_generate,
         "simulate": _command_simulate,
         "sweep": _command_sweep,
+        "faults": _command_faults,
     }
     return handlers[args.command](args)
 

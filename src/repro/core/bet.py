@@ -23,6 +23,7 @@ here by :class:`BetStore`.
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from dataclasses import dataclass
@@ -236,15 +237,41 @@ class BetStore:
     def __init__(self, paths: tuple[str, str] | None = None) -> None:
         self._paths = paths
         self._slots = (_Slot(), _Slot())
-        self._sequence = 0
+        self._sequence = self._scan_sequence()
 
     # -- backend -------------------------------------------------------
+    def _scan_sequence(self) -> int:
+        """Newest sequence number already present in the backing slots.
+
+        A store reopened over existing files must keep counting from the
+        on-media maximum: restarting at zero would target the *newest*
+        slot for the next save and, were that save interrupted, leave
+        only the stale image to fall back to.
+        """
+        newest = 0
+        for index in range(2):
+            raw = self._read_slot(index)
+            if raw is None:
+                continue
+            try:
+                _, sequence = BlockErasingTable.from_bytes(raw)
+            except ValueError:
+                continue
+            newest = max(newest, sequence)
+        return newest
+
     def _write_slot(self, index: int, data: bytes) -> None:
         if self._paths is None:
             self._slots[index].data = data
-        else:
-            with open(self._paths[index], "wb") as handle:
-                handle.write(data)
+            return
+        # Write-then-rename: a crash mid-save can never leave the slot
+        # truncated, because the old image stays intact until the
+        # replace commits.
+        path = self._paths[index]
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
 
     def _read_slot(self, index: int) -> bytes | None:
         if self._paths is None:

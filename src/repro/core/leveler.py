@@ -33,6 +33,7 @@ from repro.core.policies import (
     SequentialSelection,
     TriggerPolicy,
 )
+from repro.util.diagnostics import leveler_log
 from repro.util.rng import make_rng
 
 
@@ -131,6 +132,11 @@ class SWLeveler:
         #: of a block set for static wear leveling").
         self.findex = 0
         self.stats = SWLStats()
+        #: Flag indices whose block sets contain at least one retired
+        #: (grown-bad) block.  They are kept permanently set — re-marked
+        #: after every BET reset and restore — so SWL-Procedure's zero-flag
+        #: scan never selects a retired set for forced recycling.
+        self._retired_flags: set[int] = set()
         self._in_procedure = False
         self._suspended = 0
         self._deferred_check = False
@@ -174,6 +180,29 @@ class SWLeveler:
         if self._suspended == 0 and self._deferred_check:
             self._deferred_check = False
             self.maybe_run()
+
+    def on_block_retired(self, block: int) -> None:
+        """A block left service permanently (grown bad / worn out).
+
+        Its BET set is flagged now and re-flagged after every reset, so
+        the zero-flag scan of SWL-Procedure never selects it again.  In
+        one-to-many mode (k > 0) this also excludes the live blocks that
+        share the set — the same resolution cost the paper accepts for
+        hot data sharing a set with cold data (Section 3.2).
+        """
+        findex = self.bet.flag_index(block)
+        if findex not in self._retired_flags:
+            self._retired_flags.add(findex)
+            leveler_log.info(
+                "block %d retired; BET set %d permanently flagged", block, findex
+            )
+        if not self.bet.is_set(findex):
+            self.bet.mark_handled(findex)
+
+    @property
+    def retired_flags(self) -> frozenset[int]:
+        """Flag indices permanently excluded from selection."""
+        return frozenset(self._retired_flags)
 
     def on_request(self, now: float | None = None) -> None:
         """Advance request/time counters for request- and timer-triggers."""
@@ -238,10 +267,20 @@ class SWLeveler:
         return did_work
 
     def _reset_interval(self) -> None:
-        """Steps 4-7 of Algorithm 1: reset counters, flags, and ``findex``."""
+        """Steps 4-7 of Algorithm 1: reset counters, flags, and ``findex``.
+
+        Retired block sets are immediately re-flagged: a new resetting
+        interval never re-opens a grown-bad block for selection.
+        """
         self.bet.reset()
+        for findex in self._retired_flags:
+            self.bet.mark_handled(findex)
         self.findex = self.rng.randrange(self.bet.size)
         self.stats.bet_resets = self.bet.resets
+        leveler_log.debug(
+            "BET reset #%d (findex -> %d, %d retired sets re-flagged)",
+            self.bet.resets, self.findex, len(self._retired_flags),
+        )
 
     def _erase_block_set(self, findex: int) -> None:
         """Step 11: request garbage collection over the selected block set.
@@ -284,6 +323,10 @@ class SWLeveler:
             return False
         loaded.resets = self.bet.resets
         self.bet = loaded
+        # A restored image may predate the latest retirements; re-flag.
+        for findex in self._retired_flags:
+            if not self.bet.is_set(findex):
+                self.bet.mark_handled(findex)
         return True
 
     @property

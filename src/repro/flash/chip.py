@@ -24,9 +24,19 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.flash.errors import AddressError, ProgramError, WearOutError
+from repro.flash.errors import (
+    AddressError,
+    PowerLossError,
+    ProgramError,
+    ProgramFaultError,
+    WearOutError,
+)
 from repro.flash.geometry import FlashGeometry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.fault.injector import FaultInjector
 
 # Page states, stored one byte per page.
 PAGE_FREE = 0
@@ -104,6 +114,41 @@ class NandFlash:
         self.worn_blocks: set[int] = set()
         self.first_failure: FirstFailure | None = None
         self._erase_listeners: list[Callable[[int], None]] = []
+        #: Grown-bad blocks, marked by the translation layer at retirement.
+        #: Conceptually the on-flash bad-block table: it survives "reboots"
+        #: of the RAM layers above, so attach-time scans can skip them.
+        self.bad_blocks: set[int] = set()
+        self._injector: FaultInjector | None = None
+
+    # ------------------------------------------------------------------
+    # Fault injection and bad-block marks
+    # ------------------------------------------------------------------
+    @property
+    def injector(self) -> "FaultInjector | None":
+        """The attached fault injector, or ``None`` (the default)."""
+        return self._injector
+
+    def attach_injector(self, injector: "FaultInjector") -> None:
+        """Consult ``injector`` on every program/erase/read from now on.
+
+        The injector's bit-error and wear models are sized from this
+        chip's geometry unless already configured.
+        """
+        if injector.page_bits is None:
+            injector.page_bits = self.geometry.page_size * 8
+        if injector.endurance is None:
+            injector.endurance = self.geometry.endurance
+        self._injector = injector
+
+    def mark_bad(self, block: int) -> None:
+        """Record ``block`` in the on-flash grown-bad-block table."""
+        self._check_block(block)
+        self.bad_blocks.add(block)
+
+    def is_bad(self, block: int) -> bool:
+        """``True`` when ``block`` is marked grown bad."""
+        self._check_block(block)
+        return block in self.bad_blocks
 
     # ------------------------------------------------------------------
     # Address validation
@@ -136,6 +181,8 @@ class NandFlash:
         unless ``store_data`` is enabled and the page holds data.
         """
         index = self._check_page(block, page)
+        if self._injector is not None:
+            self._injector.on_read(block, page)
         self.counters.reads += 1
         return self._spare_lba[index], self._data.get(index)
 
@@ -169,6 +216,25 @@ class NandFlash:
                     block=block,
                     page=page,
                 )
+        if self._injector is not None:
+            try:
+                self._injector.on_program(block, page)
+            except PowerLossError:
+                # A program interrupted by power loss may leave the page
+                # half-programmed: unreadable garbage that fails ECC at
+                # the next attach scan — modelled as the invalid state
+                # with no spare tag.
+                if self._injector.plan.torn_writes:
+                    self._states[index] = PAGE_INVALID
+                    self._injector.note_torn_page()
+                raise
+            except ProgramFaultError:
+                # Program failure: charge moved but verification failed.
+                # The page is unusable until the block is erased, and the
+                # attempt still counts as device activity.
+                self._states[index] = PAGE_INVALID
+                self.counters.programs += 1
+                raise
         self._states[index] = PAGE_VALID
         self._spare_lba[index] = lba
         if self.store_data and data is not None:
@@ -193,8 +259,15 @@ class NandFlash:
         Records the first wear-out event; raises only in ``fail_stop`` mode.
         Erase listeners run after the erase completes (the Cleaner uses one
         to trigger SWL-BETUpdate).
+
+        With a fault injector attached the erase may fail before any state
+        change: a :class:`~repro.flash.errors.TransientEraseError` leaves
+        pages, erase counts, and listeners untouched, so a driver retry
+        models exactly one more attempt.
         """
         self._check_block(block)
+        if self._injector is not None:
+            self._injector.on_erase(block, self.erase_counts[block])
         self.erase_counts[block] += 1
         self.counters.erases += 1
         if self.erase_counts[block] > self.geometry.endurance:
@@ -231,6 +304,15 @@ class NandFlash:
 
     def remove_erase_listener(self, listener: Callable[[int], None]) -> None:
         self._erase_listeners.remove(listener)
+
+    def clear_erase_listeners(self) -> None:
+        """Drop every erase listener (RAM wiring lost at power loss).
+
+        The crash-consistency harness calls this when "rebooting": the
+        listeners belong to the previous session's leveler, which no
+        longer exists.
+        """
+        self._erase_listeners.clear()
 
     def set_block_tag(self, block: int, tag: str) -> None:
         """Write a small erase-unit header for ``block``.

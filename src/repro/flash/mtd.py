@@ -94,6 +94,19 @@ class MtdDevice:
         """Register a per-erase callback (the SW Leveler's update hook)."""
         self.flash.add_erase_listener(listener)
 
+    def clear_erase_listeners(self) -> None:
+        """Drop every erase listener (used when simulating a reboot)."""
+        self.flash.clear_erase_listeners()
+
+    def mark_bad(self, block: int) -> None:
+        """Record a grown-bad block in the chip's bad-block table."""
+        self.flash.mark_bad(block)
+
+    @property
+    def bad_blocks(self) -> set[int]:
+        """The chip's grown-bad-block table."""
+        return self.flash.bad_blocks
+
     @property
     def counters(self) -> OpCounters:
         return self.flash.counters

@@ -24,12 +24,17 @@ from typing import Iterator
 
 from repro.core.leveler import SWLeveler
 from repro.flash.chip import PAGE_VALID
-from repro.flash.errors import TranslationError
+from repro.flash.errors import TransientEraseError, TranslationError
 from repro.flash.mtd import MtdDevice
+from repro.util.diagnostics import fault_log
 
 #: The paper's garbage-collection trigger: GC runs "when the percentage of
 #: free blocks was under 0.2% of the entire flash-memory capacity".
 GC_FREE_FRACTION = 0.002
+
+#: Erase attempts per block before a transiently failing erase is treated
+#: as permanent and the block is retired (datasheet-style bounded retry).
+ERASE_RETRY_LIMIT = 3
 
 #: Default fraction of physical capacity withheld from the logical space.
 #: The paper's setup exports (almost) the full capacity; a pure-software
@@ -54,6 +59,10 @@ class LayerStats:
     folds: int = 0                 #: NFTL primary/replacement merges
     forced_recycles: int = 0       #: blocks recycled on SW Leveler request
     dead_recycles: int = 0         #: fully-invalid blocks erased on demand
+    erase_retries: int = 0         #: erase attempts repeated after a fault
+    program_faults: int = 0        #: program failures recovered (re-issued)
+    recovery_copies: int = 0       #: live-page copies draining failing blocks
+    recovery_erases: int = 0       #: erases spent on fault recovery
     extra: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
@@ -65,6 +74,10 @@ class LayerStats:
             "folds": self.folds,
             "forced_recycles": self.forced_recycles,
             "dead_recycles": self.dead_recycles,
+            "erase_retries": self.erase_retries,
+            "program_faults": self.program_faults,
+            "recovery_copies": self.recovery_copies,
+            "recovery_erases": self.recovery_erases,
         }
         data.update(self.extra)
         return data
@@ -126,25 +139,78 @@ class TranslationLayer(ABC):
         # floor at 2 so GC always has one block of headroom to copy into.
         self.gc_free_blocks = max(2, round(gc_free_fraction * self.geometry.num_blocks))
         self.retire_worn = retire_worn
-        #: Blocks withdrawn from service after exceeding their endurance.
+        #: Blocks withdrawn from service: worn out (with ``retire_worn``)
+        #: or grown bad under fault injection.
         self.retired_blocks: set[int] = set()
+        #: Blocks condemned by a program/erase fault, awaiting retirement
+        #: (their live data may still need draining).
+        self._failed_blocks: set[int] = set()
         self.stats = LayerStats()
         self.leveler: SWLeveler | None = None
 
     def _release_or_retire(self, block: int) -> None:
-        """Return an erased block to the pool, or retire it if worn out.
+        """Return an erased block to the pool, or retire it if worn/bad.
 
         The single chokepoint for grown-bad-block management: every block
-        release in both drivers goes through here.
+        release in both drivers goes through here.  A retired block is
+        recorded in the chip's bad-block table (so attach-time scans skip
+        it across reboots) and reported to the SW Leveler (so its BET set
+        stays permanently flagged and SWL-Procedure never selects it).
         """
-        if (
+        failed = block in self._failed_blocks
+        if failed or (
             self.retire_worn
             and self.mtd.erase_counts[block] > self.geometry.endurance
         ):
+            self._failed_blocks.discard(block)
             self.retired_blocks.add(block)
+            self.mtd.mark_bad(block)
             self.stats.extra["retired"] = len(self.retired_blocks)
+            if self.leveler is not None:
+                self.leveler.on_block_retired(block)
+            fault_log.info(
+                "%s: retired block %d (%s, wear %d)",
+                self.name, block,
+                "grown bad" if failed else "worn out",
+                self.mtd.erase_counts[block],
+            )
             return
         self.allocator.release(block)
+
+    def _erase_with_recovery(self, block: int) -> bool:
+        """Erase ``block``, absorbing transient failures with bounded retry.
+
+        Returns ``True`` when the erase eventually succeeded.  After
+        :data:`ERASE_RETRY_LIMIT` consecutive failures the block is
+        condemned (``_failed_blocks``) and its surviving valid pages are
+        invalidated on-chip so no later attach scan can resurrect stale
+        data from it; the caller's ``_release_or_retire`` then retires it.
+        """
+        attempts = 0
+        while True:
+            try:
+                self.mtd.erase_block(block)
+                if attempts:
+                    self.stats.recovery_erases += 1
+                return True
+            except TransientEraseError:
+                attempts += 1
+                if attempts >= ERASE_RETRY_LIMIT:
+                    break
+                self.stats.erase_retries += 1
+                fault_log.debug(
+                    "%s: erase of block %d failed, retry %d/%d",
+                    self.name, block, attempts, ERASE_RETRY_LIMIT - 1,
+                )
+        self._failed_blocks.add(block)
+        flash = self.mtd.flash
+        for page in flash.valid_pages(block):
+            self.mtd.invalidate_page(block, page)
+        fault_log.warning(
+            "%s: erase of block %d failed %d times; condemning block",
+            self.name, block, attempts,
+        )
+        return False
 
     def _reserve_blocks(self) -> int:
         """Physical blocks withheld from the logical space.
@@ -206,6 +272,10 @@ class TranslationLayer(ABC):
             raise RuntimeError(f"{self.name} already has a leveler attached")
         self.leveler = leveler
         self.mtd.add_erase_listener(leveler.on_block_erased)
+        # A leveler attached after a reboot must learn about blocks retired
+        # in earlier sessions, so their BET sets stay permanently flagged.
+        for block in sorted(self.retired_blocks):
+            leveler.on_block_retired(block)
 
     def swl_cost_probe(self) -> tuple[int, int]:
         """``(block_erases, live_page_copies)`` for SWL-overhead attribution."""

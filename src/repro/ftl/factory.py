@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.config import SWLConfig
 from repro.core.leveler import SWLeveler
@@ -18,6 +19,9 @@ from repro.flash.mtd import MtdDevice
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
 from repro.ftl.nftl import NFTL
 from repro.ftl.page_mapping import PageMappingFTL
+
+if TYPE_CHECKING:
+    from repro.fault.injector import FaultInjector
 
 _DRIVERS: dict[str, type[TranslationLayer]] = {
     "ftl": PageMappingFTL,
@@ -83,6 +87,7 @@ def build_stack(
     retire_worn: bool = False,
     store_data: bool = False,
     rng: random.Random | None = None,
+    injector: "FaultInjector | None" = None,
 ) -> StorageStack:
     """Assemble chip, MTD, driver, and (optionally) the SW Leveler.
 
@@ -101,8 +106,13 @@ def build_stack(
         Keep page payloads (for data-integrity tests and examples).
     rng:
         Randomness for the leveler's post-reset ``findex`` re-seed.
+    injector:
+        Fault injector attached to the chip before the driver touches it
+        (see :mod:`repro.fault`).
     """
     flash = NandFlash(geometry, store_data=store_data)
+    if injector is not None:
+        flash.attach_injector(injector)
     mtd = MtdDevice(flash)
     layer = make_layer(
         driver,

@@ -29,11 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.flash.chip import PAGE_FREE, PAGE_VALID
-from repro.flash.errors import OutOfSpaceError
+from repro.flash.errors import OutOfSpaceError, ProgramFaultError
 from repro.flash.mtd import MtdDevice
 from repro.ftl.allocator import BlockAllocator
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
 from repro.ftl.cleaner import CyclicScanner, GreedyScore
+from repro.util.diagnostics import fault_log
 
 _NOWHERE = -1
 
@@ -95,6 +96,10 @@ class NFTL(TranslationLayer):
             policy=alloc_policy,
         )
         self.scanner = CyclicScanner(self.num_vbas)
+        # Blocks that suffered a program fault; their owning chains fold
+        # (and the blocks retire) at the next safe point.
+        self._pending_retire: list[int] = []
+        self._retiring = False
 
     # ------------------------------------------------------------------
     # Logical space
@@ -147,28 +152,38 @@ class NFTL(TranslationLayer):
             ):
                 dest_block, dest_page = chain.primary, offset
                 chain.primary_used += 1
-                break
-            if chain.replacement is None:
+            elif chain.replacement is None:
                 replacement = self._allocate_block()
                 chain.replacement = replacement
                 chain.repl_next = 0
                 self._owner[replacement] = chain
                 self.mtd.flash.set_block_tag(replacement, f"R{vba}")
                 continue
-            if chain.repl_next < ppb:
+            elif chain.repl_next < ppb:
                 dest_block, dest_page = chain.replacement, chain.repl_next
                 chain.repl_next += 1
-                break
-            with self._leveler_suspended():
-                self._ensure_fold_headroom()
-                self._fold(chain)
-        self.mtd.write_page(dest_block, dest_page, lba=lpn, data=data)
+            else:
+                with self._leveler_suspended():
+                    self._ensure_fold_headroom()
+                    self._fold(chain)
+                continue
+            try:
+                self.mtd.write_page(dest_block, dest_page, lba=lpn, data=data)
+            except ProgramFaultError:
+                # The attempted page is invalid on the chip; the placement
+                # bookkeeping above already accounts for it as used, so the
+                # next iteration falls through to the replacement path (or
+                # the next replacement page / a fold).
+                self._on_program_fault(dest_block)
+                continue
+            break
         old = chain.locations[offset]
         if old != _NOWHERE:
             self.mtd.invalidate_page(*self.geometry.page_address(old))
         else:
             chain.valid_offsets += 1
         chain.locations[offset] = self.geometry.page_index(dest_block, dest_page)
+        self._process_pending_retirements()
 
     def _primary_page_used(self, chain: BlockChain, offset: int) -> bool:
         """``True`` when the primary's home page for ``offset`` was programmed.
@@ -178,6 +193,50 @@ class NFTL(TranslationLayer):
         the authority.
         """
         return self.mtd.flash.page_state(chain.primary, offset) != PAGE_FREE
+
+    # ------------------------------------------------------------------
+    # Fault recovery
+    # ------------------------------------------------------------------
+    def _on_program_fault(self, block: int) -> None:
+        """Bookkeeping after a failed program: the chip already marked the
+        attempted page invalid and counted the program."""
+        self.stats.program_faults += 1
+        if block not in self._failed_blocks and block not in self.retired_blocks:
+            self._failed_blocks.add(block)
+            self._pending_retire.append(block)
+            fault_log.info(
+                "NFTL: program fault on block %d; owning chain will fold "
+                "and the block retire", block,
+            )
+
+    def _process_pending_retirements(self) -> None:
+        """Fold chains owning program-faulted blocks so the blocks retire.
+
+        Deferred to the end of the host write — a safe point where no fold
+        is in flight — so recovery never recurses into itself.  A faulted
+        block whose chain already folded in the meantime was retired by
+        that fold's erase path and is skipped here.
+        """
+        if self._retiring or not self._pending_retire:
+            return
+        self._retiring = True
+        try:
+            while self._pending_retire:
+                block = self._pending_retire.pop()
+                if block in self.retired_blocks:
+                    continue
+                chain = self._owner[block]
+                if chain is None:
+                    continue
+                copies_before = self.stats.live_page_copies
+                with self._leveler_suspended():
+                    self._ensure_fold_headroom()
+                    self._fold(chain)
+                self.stats.recovery_copies += (
+                    self.stats.live_page_copies - copies_before
+                )
+        finally:
+            self._retiring = False
 
     # ------------------------------------------------------------------
     # Chain management
@@ -251,33 +310,54 @@ class NFTL(TranslationLayer):
         The most-recent content of every offset is copied to its home page
         in a new primary; the old primary and the replacement (if any) are
         erased and pooled.  Live-page copies are counted per Section 4.3.
+
+        A program fault in the destination restarts the copy loop on
+        another fresh primary: offsets already copied survive as valid
+        pages in the faulted block (``locations`` points at them), so the
+        retry drains them out again.  Faulted intermediates are erased and
+        retired once the fold completes.
         """
         geometry = self.geometry
-        new_primary = self.allocator.allocate()
-        self.mtd.flash.set_block_tag(new_primary, f"P{chain.vba}")
-        copied = 0
-        for offset in range(geometry.pages_per_block):
-            index = chain.locations[offset]
-            if index == _NOWHERE:
-                continue
-            src = geometry.page_address(index)
-            lba, payload = self.mtd.read_page(*src)
-            self.mtd.write_page(new_primary, offset, lba=lba, data=payload)
-            self.mtd.invalidate_page(*src)
-            chain.locations[offset] = geometry.page_index(new_primary, offset)
-            copied += 1
+        failed_primaries: list[int] = []
+        while True:
+            new_primary = self.allocator.allocate()
+            self.mtd.flash.set_block_tag(new_primary, f"P{chain.vba}")
+            copied = 0
+            faulted = False
+            for offset in range(geometry.pages_per_block):
+                index = chain.locations[offset]
+                if index == _NOWHERE:
+                    continue
+                src = geometry.page_address(index)
+                lba, payload = self.mtd.read_page(*src)
+                try:
+                    self.mtd.write_page(new_primary, offset, lba=lba, data=payload)
+                except ProgramFaultError:
+                    self._on_program_fault(new_primary)
+                    failed_primaries.append(new_primary)
+                    faulted = True
+                    break
+                self.mtd.invalidate_page(*src)
+                chain.locations[offset] = geometry.page_index(new_primary, offset)
+                copied += 1
+            if not faulted:
+                break
+            self.stats.live_page_copies += copied
         self.stats.live_page_copies += copied
         self.stats.folds += 1
 
         old_primary = chain.primary
         old_replacement = chain.replacement
         self._owner[old_primary] = None
-        self.mtd.erase_block(old_primary)
+        self._erase_with_recovery(old_primary)
         self._release_or_retire(old_primary)
         if old_replacement is not None:
             self._owner[old_replacement] = None
-            self.mtd.erase_block(old_replacement)
+            self._erase_with_recovery(old_replacement)
             self._release_or_retire(old_replacement)
+        for failed in failed_primaries:
+            self._erase_with_recovery(failed)
+            self._release_or_retire(failed)
 
         chain.primary = new_primary
         chain.replacement = None
@@ -297,16 +377,28 @@ class NFTL(TranslationLayer):
         Because superseded pages are marked invalid on update, each
         logical page has at most one valid copy, so ``locations`` rebuilds
         unambiguously.  Returns the number of chains recovered.
+
+        Crash hardening: blocks in the chip's bad-block table are excluded
+        from service.  A power loss mid-fold leaves *two* blocks tagged
+        ``P<vba>`` with the chain's data split across up to three blocks;
+        such claimant groups are consolidated at attach time
+        (:meth:`_attach_merge`) before the chains go back into service.
         """
         geometry = self.geometry
         flash = self.mtd.flash
         ppb = geometry.pages_per_block
         self._chains = [None] * self.num_vbas
         self._owner = [None] * geometry.num_blocks
+        self.retired_blocks = set(flash.bad_blocks)
+        self._failed_blocks = set()
+        self._pending_retire = []
         free_blocks: list[int] = []
-        replacements: list[tuple[int, int, int]] = []  # (block, vba, used)
+        #: vba -> [(block, role, used pages)] for every claimant block.
+        members: dict[int, list[tuple[int, str, int]]] = {}
 
         for block in range(geometry.num_blocks):
+            if block in self.retired_blocks:
+                continue
             states = flash.block_page_states(block)
             header = flash.block_tag(block)
             if states.count(PAGE_FREE) == ppb or header is None:
@@ -317,34 +409,42 @@ class NFTL(TranslationLayer):
                 free_blocks.append(block)  # foreign data; treat as free
                 continue
             used = ppb - states.count(PAGE_FREE)
-            if role == "P":
-                chain = self._chains[vba]
-                if chain is None:
-                    chain = BlockChain(
-                        vba=vba, primary=block, locations=[_NOWHERE] * ppb
-                    )
-                    self._chains[vba] = chain
-                else:
-                    chain.primary = block
-                self._owner[block] = chain
-                chain.primary_used = used
-            else:
-                replacements.append((block, vba, used))
+            members.setdefault(vba, []).append((block, role, used))
 
-        for block, vba, used in replacements:
-            chain = self._chains[vba]
-            if chain is None:
-                # Replacement without a surviving primary (crash mid-fold):
-                # adopt it as the chain's only block.
+        # The allocator must exist before any attach-time merge: merges
+        # allocate a consolidation block and release the ones they drain.
+        self.allocator = BlockAllocator(
+            self.mtd.erase_counts, free_blocks, policy=self.alloc_policy
+        )
+
+        for vba, group in sorted(members.items()):
+            primaries = [m for m in group if m[1] == "P"]
+            repls = [m for m in group if m[1] == "R"]
+            if len(primaries) > 1 or len(repls) > 1:
+                self._attach_merge(vba, group)
+                continue
+            if primaries:
+                block, _, used = primaries[0]
                 chain = BlockChain(
                     vba=vba, primary=block, locations=[_NOWHERE] * ppb
                 )
                 chain.primary_used = used
-                self._chains[vba] = chain
+                self._owner[block] = chain
+                if repls:
+                    rblock, _, rused = repls[0]
+                    chain.replacement = rblock
+                    chain.repl_next = rused
+                    self._owner[rblock] = chain
             else:
-                chain.replacement = block
-                chain.repl_next = used
-            self._owner[block] = chain
+                # Replacement without a surviving primary (crash mid-fold):
+                # adopt it as the chain's only block.
+                rblock, _, rused = repls[0]
+                chain = BlockChain(
+                    vba=vba, primary=rblock, locations=[_NOWHERE] * ppb
+                )
+                chain.primary_used = rused
+                self._owner[rblock] = chain
+            self._chains[vba] = chain
 
         recovered = 0
         for chain in self._chains:
@@ -361,10 +461,180 @@ class NFTL(TranslationLayer):
                     offset = flash.page_lba(member, page) % ppb
                     chain.locations[offset] = geometry.page_index(member, page)
                     chain.valid_offsets += 1
-        self.allocator = BlockAllocator(
-            self.mtd.erase_counts, free_blocks, policy=self.alloc_policy
-        )
         return recovered
+
+    def _attach_merge(self, vba: int, group: list[tuple[int, str, int]]) -> None:
+        """Consolidate a multi-claimant VBA left by a crash mid-fold.
+
+        Every offset still has at most one valid copy (folds invalidate
+        each source right after its copy lands), but the copies are split
+        across the old primary, the replacement, and the partial new
+        primary.  If one primary already holds every surviving page at its
+        home offset (the crash hit after the copy phase) it is adopted
+        outright; otherwise the union of valid pages is copied into a
+        fresh primary.  Drained claimants are erased and pooled.
+        """
+        geometry = self.geometry
+        flash = self.mtd.flash
+        ppb = geometry.pages_per_block
+        fault_log.info(
+            "NFTL rebuild: vba %d claimed by blocks %s; consolidating",
+            vba, sorted(block for block, _, _ in group),
+        )
+        # offset -> the unique valid (block, page) holding its content.
+        sources: dict[int, tuple[int, int]] = {}
+        for block, _role, _used in group:
+            for page in range(ppb):
+                if flash.page_state(block, page) != PAGE_VALID:
+                    continue
+                offset = flash.page_lba(block, page) % ppb
+                sources[offset] = (block, page)
+
+        for cand, role, used in group:
+            if role != "P":
+                continue
+            if all(
+                blk == cand and page == off
+                for off, (blk, page) in sources.items()
+            ):
+                chain = BlockChain(
+                    vba=vba, primary=cand, locations=[_NOWHERE] * ppb
+                )
+                chain.primary_used = used
+                self._chains[vba] = chain
+                self._owner[cand] = chain
+                for other, _r, _u in group:
+                    if other != cand:
+                        self._erase_with_recovery(other)
+                        self._release_or_retire(other)
+                return
+
+        failed_primaries: list[int] = []
+        #: offset -> (lba, payload) once the claimants had to be drained
+        #: before a consolidation block could be allocated.
+        buffered: dict[int, tuple[int, object]] | None = None
+        while True:
+            try:
+                new_primary = self.allocator.allocate()
+            except OutOfSpaceError:
+                if buffered is not None:
+                    raise  # retirement consumed the drained blocks: EOL
+                # The crash struck a fold that had emptied the pool, so
+                # there is no headroom for a copy merge.  Buffer the
+                # surviving pages, drain every claimant back into the
+                # pool, and rebuild the primary from the buffer — the RAM
+                # buffer stands in for the reserved spare erase unit a
+                # real NFTL keeps for this case.
+                buffered = {
+                    offset: self.mtd.read_page(*src)
+                    for offset, src in sources.items()
+                }
+                for block in [b for b, _r, _u in group] + failed_primaries:
+                    self._erase_with_recovery(block)
+                    self._release_or_retire(block)
+                group = []
+                failed_primaries = []
+                continue
+            flash.set_block_tag(new_primary, f"P{vba}")
+            copied = 0
+            faulted = False
+            for offset in sorted(buffered if buffered is not None else sources):
+                if buffered is not None:
+                    lba, payload = buffered[offset]
+                else:
+                    src = sources[offset]
+                    lba, payload = self.mtd.read_page(*src)
+                try:
+                    self.mtd.write_page(new_primary, offset, lba=lba, data=payload)
+                except ProgramFaultError:
+                    self._on_program_fault(new_primary)
+                    failed_primaries.append(new_primary)
+                    faulted = True
+                    break
+                if buffered is None:
+                    self.mtd.invalidate_page(*src)
+                    sources[offset] = (new_primary, offset)
+                copied += 1
+            if not faulted:
+                break
+            self.stats.live_page_copies += copied
+            self.stats.recovery_copies += copied
+        self.stats.live_page_copies += copied
+        self.stats.recovery_copies += copied
+
+        chain = BlockChain(vba=vba, primary=new_primary, locations=[_NOWHERE] * ppb)
+        chain.primary_used = copied
+        self._chains[vba] = chain
+        self._owner[new_primary] = chain
+        for block, _role, _used in group:
+            self._erase_with_recovery(block)
+            self._release_or_retire(block)
+        for block in failed_primaries:
+            self._erase_with_recovery(block)
+            self._release_or_retire(block)
+
+    # ------------------------------------------------------------------
+    # Invariants (crash-consistency harness)
+    # ------------------------------------------------------------------
+    def assert_internal_consistency(self) -> None:
+        """Cross-check chain state against the chip's page states.
+
+        Raises :class:`AssertionError` on the first discrepancy.  Used by
+        the crash-consistency harness after every simulated reboot.
+        """
+        geometry = self.geometry
+        flash = self.mtd.flash
+        ppb = geometry.pages_per_block
+        free = self.allocator.free_blocks()
+        overlap = free & self.retired_blocks
+        if overlap:
+            raise AssertionError(
+                f"retired blocks present in the free pool: {sorted(overlap)}"
+            )
+        referenced: set[int] = set()
+        for vba, chain in enumerate(self._chains):
+            if chain is None:
+                continue
+            chain_blocks = {chain.primary}
+            if chain.replacement is not None:
+                chain_blocks.add(chain.replacement)
+            live = 0
+            for offset in range(ppb):
+                index = chain.locations[offset]
+                if index == _NOWHERE:
+                    continue
+                live += 1
+                referenced.add(index)
+                block, page = geometry.page_address(index)
+                if block not in chain_blocks:
+                    raise AssertionError(
+                        f"vba {vba} offset {offset} maps outside its chain "
+                        f"(block {block})"
+                    )
+                if flash.page_state(block, page) != PAGE_VALID:
+                    raise AssertionError(
+                        f"vba {vba} offset {offset} maps to non-valid page "
+                        f"({block}, {page})"
+                    )
+                if flash.page_lba(block, page) != vba * ppb + offset:
+                    raise AssertionError(
+                        f"vba {vba} offset {offset}: spare tag disagrees at "
+                        f"({block}, {page})"
+                    )
+            if live != chain.valid_offsets:
+                raise AssertionError(
+                    f"vba {vba}: {live} live offsets, chain believes "
+                    f"{chain.valid_offsets}"
+                )
+        for block in range(geometry.num_blocks):
+            if block in self.retired_blocks:
+                continue
+            for page in flash.valid_pages(block):
+                if geometry.page_index(block, page) not in referenced:
+                    raise AssertionError(
+                        f"stale valid page ({block}, {page}) referenced by "
+                        f"no chain"
+                    )
 
     # ------------------------------------------------------------------
     # SW Leveler host interface (EraseBlockSet)
@@ -380,6 +650,8 @@ class NFTL(TranslationLayer):
         recycled = 0
         with self._leveler_suspended():
             for block in blocks:
+                if block in self.retired_blocks:
+                    continue  # out of service; the leveler flags the set
                 chain = self._owner[block]
                 if chain is None:
                     if self.allocator.contains(block):

@@ -24,11 +24,12 @@ Implementation notes
 from __future__ import annotations
 
 from repro.flash.chip import PAGE_FREE, PAGE_VALID
-from repro.flash.errors import OutOfSpaceError
+from repro.flash.errors import OutOfSpaceError, ProgramFaultError
 from repro.flash.mtd import MtdDevice
 from repro.ftl.allocator import BlockAllocator
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
 from repro.ftl.cleaner import CyclicScanner, GreedyScore
+from repro.util.diagnostics import fault_log
 
 _UNMAPPED = -1
 
@@ -84,6 +85,10 @@ class PageMappingFTL(TranslationLayer):
         self._host_frontier: tuple[int, int] | None = None
         self._copy_frontier: tuple[int, int] | None = None
         self._cold_frontier: tuple[int, int] | None = None
+        # Blocks that suffered a program fault, awaiting relocation and
+        # retirement at the next safe point (end of the host write).
+        self._pending_retire: list[int] = []
+        self._retiring = False
 
     # ------------------------------------------------------------------
     # Logical space
@@ -116,17 +121,17 @@ class PageMappingFTL(TranslationLayer):
         """Out-place update: program a free page, invalidate the old copy."""
         self.check_lpn(lpn)
         self.stats.host_writes += 1
-        block, page = self._next_host_page()
-        # Read the old location only *after* space was secured: garbage
-        # collection inside _next_host_page may have relocated it.
+        block, page = self._write_with_recovery("host", lpn, data)
+        # Read the old location only *after* the program landed: garbage
+        # collection inside the frontier advance may have relocated it.
         old = self._l2p[lpn]
-        self.mtd.write_page(block, page, lba=lpn, data=data)
         self._valid[block] += 1
         index = self.geometry.page_index(block, page)
         self._p2l[index] = lpn
         self._l2p[lpn] = index
         if old != _UNMAPPED:
             self._invalidate(old)
+        self._process_pending_retirements()
 
     # ------------------------------------------------------------------
     # Space management
@@ -137,6 +142,81 @@ class PageMappingFTL(TranslationLayer):
         self._p2l[index] = _UNMAPPED
         self._valid[block] -= 1
         self._invalid[block] += 1
+
+    def _write_with_recovery(
+        self, kind: str, lba: int, data: bytes | None
+    ) -> tuple[int, int]:
+        """Program ``(lba, data)`` on the ``kind`` frontier, surviving faults.
+
+        A :class:`ProgramFaultError` leaves the attempted page invalid on
+        the chip; the faulted block's frontier is closed, the block is
+        queued for retirement, and the write re-issues on a fresh page —
+        the paper-era firmware response to a grown-bad block.
+        """
+        next_page = {
+            "host": self._next_host_page,
+            "copy": self._next_copy_page,
+            "cold": self._next_cold_page,
+        }[kind]
+        for _ in range(self.geometry.total_pages):
+            block, page = next_page()
+            try:
+                self.mtd.write_page(block, page, lba=lba, data=data)
+            except ProgramFaultError:
+                self._on_program_fault(block, kind)
+                continue
+            return block, page
+        raise OutOfSpaceError(
+            "every candidate destination page failed to program"
+        )
+
+    def _on_program_fault(self, block: int, kind: str) -> None:
+        """Bookkeeping after a failed program: the chip already marked the
+        attempted page invalid and counted the program."""
+        self.stats.program_faults += 1
+        self._invalid[block] += 1
+        if kind == "host":
+            self._host_frontier = None
+        elif kind == "copy":
+            self._copy_frontier = None
+        else:
+            self._cold_frontier = None
+        if block not in self._failed_blocks and block not in self.retired_blocks:
+            self._failed_blocks.add(block)
+            self._pending_retire.append(block)
+            fault_log.info(
+                "FTL: program fault on block %d (%s frontier); "
+                "block scheduled for retirement", block, kind,
+            )
+
+    def _process_pending_retirements(self) -> None:
+        """Relocate and retire program-faulted blocks.
+
+        Deferred to the end of the host write — a safe point where no
+        relocation is in flight — so recovery never recurses into itself.
+        A block the Cleaner already swept up in the meantime is skipped.
+        """
+        if self._retiring or not self._pending_retire:
+            return
+        self._retiring = True
+        try:
+            while self._pending_retire:
+                block = self._pending_retire.pop()
+                if block in self.retired_blocks:
+                    continue
+                for attr in ("_host_frontier", "_copy_frontier",
+                             "_cold_frontier"):
+                    frontier = getattr(self, attr)
+                    if frontier is not None and frontier[0] == block:
+                        setattr(self, attr, None)
+                copies_before = self.stats.live_page_copies
+                with self._leveler_suspended():
+                    self._relocate_and_erase(block)
+                self.stats.recovery_copies += (
+                    self.stats.live_page_copies - copies_before
+                )
+        finally:
+            self._retiring = False
 
     def _next_host_page(self) -> tuple[int, int]:
         """Next free page on the host frontier, opening a new block if full."""
@@ -265,9 +345,10 @@ class PageMappingFTL(TranslationLayer):
             lpn = self._p2l[base + page]
             if lpn == _UNMAPPED:
                 continue
-            dest_block, dest_page = next_page()
             lba, payload = self.mtd.read_page(block, page)
-            self.mtd.write_page(dest_block, dest_page, lba=lba, data=payload)
+            dest_block, dest_page = self._write_with_recovery(
+                "cold" if cold else "copy", lba, payload
+            )
             self.stats.live_page_copies += 1
             dest_index = geometry.page_index(dest_block, dest_page)
             self._p2l[base + page] = _UNMAPPED
@@ -275,7 +356,7 @@ class PageMappingFTL(TranslationLayer):
             self._l2p[lpn] = dest_index
             self._valid[dest_block] += 1
             self._valid[block] -= 1
-        self.mtd.erase_block(block)
+        self._erase_with_recovery(block)
         self._valid[block] = 0
         self._invalid[block] = 0
         self._release_or_retire(block)
@@ -323,6 +404,12 @@ class PageMappingFTL(TranslationLayer):
         when the device is attached and its RAM table is gone.  Returns the
         number of mappings recovered.  Frontiers are closed; free blocks
         are re-pooled.
+
+        Crash hardening: blocks in the chip's bad-block table are excluded
+        from service, and a logical page found on two physical pages — a
+        power loss between a Cleaner copy and the source-block erase — is
+        resolved by invalidating the earlier-seen copy (both hold identical
+        content, so either is correct).
         """
         geometry = self.geometry
         flash = self.mtd.flash
@@ -330,9 +417,14 @@ class PageMappingFTL(TranslationLayer):
         self._p2l = [_UNMAPPED] * geometry.total_pages
         self._valid = [0] * geometry.num_blocks
         self._invalid = [0] * geometry.num_blocks
+        self.retired_blocks = set(flash.bad_blocks)
+        self._failed_blocks = set()
+        self._pending_retire = []
         free_blocks: list[int] = []
         recovered = 0
         for block in range(geometry.num_blocks):
+            if block in self.retired_blocks:
+                continue
             states = flash.block_page_states(block)
             if states.count(PAGE_FREE) == len(states):
                 free_blocks.append(block)
@@ -345,6 +437,18 @@ class PageMappingFTL(TranslationLayer):
                 lpn = flash.page_lba(block, page)
                 index = geometry.page_index(block, page)
                 if 0 <= lpn < self._num_logical_pages:
+                    prev = self._l2p[lpn]
+                    if prev != _UNMAPPED:
+                        prev_block, prev_page = geometry.page_address(prev)
+                        self.mtd.invalidate_page(prev_block, prev_page)
+                        self._p2l[prev] = _UNMAPPED
+                        self._valid[prev_block] -= 1
+                        self._invalid[prev_block] += 1
+                        recovered -= 1
+                        fault_log.debug(
+                            "rebuild: duplicate copy of lpn %d at "
+                            "(%d, %d) superseded", lpn, prev_block, prev_page,
+                        )
                     self._l2p[lpn] = index
                     self._p2l[index] = lpn
                     self._valid[block] += 1
@@ -356,3 +460,43 @@ class PageMappingFTL(TranslationLayer):
         self._copy_frontier = None
         self._cold_frontier = None
         return recovered
+
+    # ------------------------------------------------------------------
+    # Invariants (crash-consistency harness)
+    # ------------------------------------------------------------------
+    def assert_internal_consistency(self) -> None:
+        """Cross-check the RAM tables against the chip's page states.
+
+        Raises :class:`AssertionError` on the first discrepancy.  Used by
+        the crash-consistency harness after every simulated reboot.
+        """
+        geometry = self.geometry
+        flash = self.mtd.flash
+        free = set(self.allocator.free_blocks())
+        overlap = free & self.retired_blocks
+        if overlap:
+            raise AssertionError(
+                f"retired blocks present in the free pool: {sorted(overlap)}"
+            )
+        for lpn, index in enumerate(self._l2p):
+            if index == _UNMAPPED:
+                continue
+            if self._p2l[index] != lpn:
+                raise AssertionError(
+                    f"l2p/p2l disagree for lpn {lpn}: p2l[{index}] = "
+                    f"{self._p2l[index]}"
+                )
+            block, page = geometry.page_address(index)
+            if flash.block_page_states(block)[page] != PAGE_VALID:
+                raise AssertionError(
+                    f"lpn {lpn} maps to non-valid page ({block}, {page})"
+                )
+        for block in range(geometry.num_blocks):
+            if block in self.retired_blocks:
+                continue
+            valid = flash.block_page_states(block).count(PAGE_VALID)
+            if valid != self._valid[block]:
+                raise AssertionError(
+                    f"block {block}: chip holds {valid} valid pages, "
+                    f"driver believes {self._valid[block]}"
+                )

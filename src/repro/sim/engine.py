@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from repro.flash.errors import TranslationError
+from repro.flash.errors import PowerLossError, TranslationError
 from repro.ftl.factory import StorageStack
 from repro.sim.metrics import EraseDistribution, first_failure_years
 from repro.traces.model import Request
@@ -74,6 +74,10 @@ class SimResult:
     swl_stats: dict[str, int] = field(default_factory=dict)
     device_busy_time: float = 0.0
     timeline: list[WearSample] = field(default_factory=list)
+    #: Injector counters when a fault campaign was attached (else empty).
+    fault_stats: dict[str, int] = field(default_factory=dict)
+    #: ``True`` when a scheduled power loss ended the replay early.
+    power_lost: bool = False
 
     @property
     def first_failure_years(self) -> float | None:
@@ -95,6 +99,8 @@ class SimResult:
             "live_page_copies": self.live_page_copies,
             "gc_runs": self.gc_runs,
             **{f"swl_{k}": v for k, v in self.swl_stats.items()},
+            **({"power_lost": self.power_lost} if self.power_lost else {}),
+            **{f"fault_{k}": v for k, v in self.fault_stats.items()},
         }
 
 
@@ -144,6 +150,7 @@ class Simulator:
         self.requests_done = 0
         self.pages_written = 0
         self.pages_read = 0
+        self.power_lost = False
         self.first_failure_clock: float | None = None
         geometry = stack.mtd.geometry
         self._spp = geometry.sectors_per_page
@@ -207,7 +214,13 @@ class Simulator:
         for request in iterator:
             if stop.max_time is not None and request.time > stop.max_time:
                 break
-            self.apply(request)
+            try:
+                self.apply(request)
+            except PowerLossError:
+                # A scheduled power loss from an attached fault injector
+                # ends the replay; the partial result is still reported.
+                self.power_lost = True
+                break
             if check_failure and flash.first_failure is not None:
                 break
             if stop.max_requests is not None and self.requests_done >= stop.max_requests:
@@ -249,4 +262,10 @@ class Simulator:
             swl_stats=leveler.stats.as_dict() if leveler else {},
             device_busy_time=stack.mtd.busy_time,
             timeline=list(self.timeline),
+            fault_stats=(
+                flash.injector.stats.as_dict()
+                if flash.injector is not None
+                else {}
+            ),
+            power_lost=self.power_lost,
         )

@@ -80,3 +80,48 @@ def unevenness_of(counts: Sequence[int]) -> float:
     if mean == 0:
         return 0.0
     return max(counts) / mean
+
+
+@dataclass(frozen=True)
+class FaultRecoverySummary:
+    """Cost of fault recovery during one run or campaign.
+
+    Relates what the injector delivered to what the driver spent
+    surviving it — the robustness analogue of the Section 5.3 overhead
+    ratios.  Built from the ``fault_*`` / recovery counters collected by
+    :class:`~repro.sim.engine.SimResult` or a fault campaign.
+    """
+
+    faults_injected: int         #: erase + program faults delivered
+    erase_retries: int           #: extra erase attempts spent recovering
+    recovery_copies: int         #: live pages moved off failing blocks
+    recovery_erases: int         #: erases spent draining/condemning blocks
+    blocks_retired: int          #: blocks permanently taken out of service
+    total_erases: int            #: all block erases in the run
+
+    @property
+    def recovery_erase_overhead(self) -> float:
+        """Recovery erases as a percentage of all erases (0 when none)."""
+        if self.total_erases <= 0:
+            return 0.0
+        return 100.0 * self.recovery_erases / self.total_erases
+
+    @classmethod
+    def from_stats(
+        cls,
+        injector_stats: dict[str, int],
+        recovery_stats: dict[str, int],
+        *,
+        blocks_retired: int = 0,
+        total_erases: int = 0,
+    ) -> "FaultRecoverySummary":
+        """Assemble from injector/driver stat dicts (campaign layout)."""
+        return cls(
+            faults_injected=injector_stats.get("erase_faults", 0)
+            + injector_stats.get("program_faults", 0),
+            erase_retries=recovery_stats.get("erase_retries", 0),
+            recovery_copies=recovery_stats.get("recovery_copies", 0),
+            recovery_erases=recovery_stats.get("recovery_erases", 0),
+            blocks_retired=blocks_retired,
+            total_erases=total_erases,
+        )

@@ -8,11 +8,14 @@ a pull request.  Used by ``python -m repro sweep --report``.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.analysis.figures import sparkline
 from repro.sim.engine import SimResult
 from repro.sim.metrics import improvement_ratio
+
+if TYPE_CHECKING:
+    from repro.fault.campaign import FaultCampaignResult
 
 
 def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -96,6 +99,10 @@ def markdown_report(
             if key == "findex_history":
                 continue
             detail_rows.append([f"SWL {key.replace('_', ' ')}", value])
+        if result.power_lost:
+            detail_rows.append(["power lost", "yes (replay ended early)"])
+        for key, value in sorted(result.fault_stats.items()):
+            detail_rows.append([f"fault {key.replace('_', ' ')}", value])
         sections.append(_markdown_table(["Metric", "Value"], detail_rows))
         if result.timeline:
             deviations = [sample.deviation for sample in result.timeline]
@@ -121,3 +128,63 @@ def save_report(
     """Write :func:`markdown_report` output to ``path``."""
     with open(path, "w") as handle:
         handle.write(markdown_report(results, **kwargs))  # type: ignore[arg-type]
+
+
+def fault_campaign_report(
+    campaign: "FaultCampaignResult",
+    *,
+    title: str = "Fault-injection campaign report",
+) -> str:
+    """Render a :class:`~repro.fault.campaign.FaultCampaignResult` as markdown.
+
+    One document per campaign: the pass/fail gate up front, then the soak
+    phase (injected faults vs recovery work) and the power-loss sweep.
+    """
+    verdict = "**PASS** — zero invariant violations" if campaign.ok else (
+        f"**FAIL** — {len(campaign.violations)} violation(s)"
+    )
+    crash = campaign.crash_report
+    sections = [
+        f"# {title}",
+        "",
+        f"Configuration: `{campaign.label}` — {verdict}",
+        "",
+        "## Soak phase (transient faults under load)",
+        "",
+        _markdown_table(
+            ["Metric", "Value"],
+            [
+                ["host writes acknowledged", campaign.soak_writes],
+                ["blocks retired", campaign.retired_blocks],
+                ["recovery erase overhead",
+                 f"{campaign.recovery_summary().recovery_erase_overhead:.2f}%"],
+                ["data-integrity violations", len(campaign.soak_violations)],
+            ]
+            + [
+                [f"injected {key.replace('_', ' ')}", value]
+                for key, value in sorted(campaign.injector_stats.items())
+            ]
+            + [
+                [f"driver {key.replace('_', ' ')}", value]
+                for key, value in sorted(campaign.recovery_stats.items())
+            ],
+        ),
+        "",
+        "## Power-loss sweep (crash consistency)",
+        "",
+        _markdown_table(
+            ["Metric", "Value"],
+            [
+                ["loss points swept", len(crash.verdicts)],
+                ["losses that fired", crash.crashes],
+                ["BET restores", sum(1 for v in crash.verdicts if v.bet_restored)],
+                ["mappings recovered", sum(v.mappings_recovered for v in crash.verdicts)],
+                ["invariant violations", len(crash.violations)],
+            ],
+        ),
+    ]
+    if campaign.violations:
+        sections += ["", "## Violations", ""]
+        sections += [f"- {violation}" for violation in campaign.violations]
+    sections.append("")
+    return "\n".join(sections)

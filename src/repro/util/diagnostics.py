@@ -1,0 +1,41 @@
+"""Library diagnostics channels.
+
+Fault injections, recovery actions, and leveler events used to be either
+invisible or dumped to stdout.  This module gives the library proper
+``logging`` channels instead:
+
+* ``repro.fault``   — fault injections and the recovery actions they
+  trigger (retries, re-issued writes, block retirements, power loss);
+* ``repro.leveler`` — SW Leveler lifecycle events (BET resets, retired
+  block-set flagging).
+
+The root ``repro`` logger carries a :class:`logging.NullHandler`, so the
+library emits nothing unless the application configures logging — the
+standard library-logging etiquette.  Tests and the CLI can enable the
+channels with ``logging.basicConfig(level=logging.DEBUG)`` or a targeted
+``logging.getLogger("repro.fault").setLevel(...)``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT = logging.getLogger("repro")
+if not _ROOT.handlers:
+    _ROOT.addHandler(logging.NullHandler())
+
+
+def get_logger(channel: str) -> logging.Logger:
+    """Logger for one diagnostics channel (``"fault"``, ``"leveler"``, ...).
+
+    >>> get_logger("fault").name
+    'repro.fault'
+    """
+    return logging.getLogger(f"repro.{channel}")
+
+
+#: Fault-injection and recovery events.
+fault_log = get_logger("fault")
+
+#: SW Leveler events.
+leveler_log = get_logger("leveler")

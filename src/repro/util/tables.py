@@ -7,7 +7,9 @@ tables so that a bench run prints rows directly comparable with the paper.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterable, Sequence
+from typing import TextIO
 
 
 def _stringify(cell: object) -> str:
@@ -74,9 +76,15 @@ def render_table(
     rows: Iterable[Sequence[object]],
     *,
     title: str | None = None,
+    stream: TextIO | None = None,
 ) -> None:
-    """Print :func:`format_table` output (convenience for benches/examples)."""
-    print(format_table(headers, rows, title=title))
+    """Write :func:`format_table` output to ``stream`` (default stdout).
+
+    Convenience for benches and examples; library code that needs the
+    table as data should call :func:`format_table` directly.
+    """
+    out = stream if stream is not None else sys.stdout
+    out.write(format_table(headers, rows, title=title) + "\n")
 
 
 def format_series(

@@ -1,0 +1,125 @@
+"""Tests for driver-level fault recovery: program-failure re-issue,
+bounded erase retry, block retirement, and the leveler's retired flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SWLConfig
+from repro.fault.injector import FaultInjector
+from repro.fault.plan import FaultPlan
+from repro.flash.errors import OutOfSpaceError, UncorrectableReadError
+from repro.ftl.base import ERASE_RETRY_LIMIT
+from repro.ftl.factory import build_stack
+from repro.util.rng import make_rng
+
+
+def _faulty_stack(geometry, driver, plan, *, swl=None, seed=0):
+    injector = FaultInjector(plan)
+    stack = build_stack(
+        geometry, driver, swl, store_data=True,
+        rng=make_rng(seed), injector=injector,
+    )
+    return stack, injector
+
+
+class TestProgramFaultRecovery:
+    @pytest.mark.parametrize("driver", ["ftl", "nftl"])
+    def test_write_survives_grown_bad_block(self, small_geometry, driver):
+        # Condemn the block the next host program would land on; the
+        # driver must re-issue the write elsewhere and still succeed.
+        plan = FaultPlan()  # inert except for the block we poison below
+        stack, injector = _faulty_stack(small_geometry, driver, plan)
+        layer = stack.layer
+        layer.write(0, b"first")
+        layer.write(0, b"before")
+        # The block holding the latest copy of lpn 0 is the open write
+        # frontier (FTL) or replacement block (NFTL); the next write of
+        # lpn 0 targets it, so poisoning it forces the recovery path.
+        victim = next(
+            block
+            for block in range(small_geometry.num_blocks)
+            for page in stack.flash.valid_pages(block)
+            if stack.flash.page_lba(block, page) == 0
+        )
+        injector.bad_program_blocks.add(victim)
+        layer.write(0, b"after")
+        assert layer.read(0) == b"after"
+        assert layer.stats.program_faults >= 1
+        assert victim in layer.retired_blocks
+        assert victim in stack.flash.bad_blocks
+
+    @pytest.mark.parametrize("driver", ["ftl", "nftl"])
+    def test_soak_with_random_faults_loses_no_data(self, small_geometry, driver):
+        plan = FaultPlan(
+            seed=11, erase_fail_prob=0.02, program_fail_prob=0.002,
+            read_ber=1e-9,
+        )
+        stack, injector = _faulty_stack(small_geometry, driver, plan, seed=1)
+        layer = stack.layer
+        rng = make_rng(5)
+        acked = {}
+        for version in range(1500):
+            lpn = rng.randrange(layer.num_logical_pages)
+            payload = f"{lpn}:{version}".encode()
+            try:
+                layer.write(lpn, payload)
+            except OutOfSpaceError:
+                break
+            acked[lpn] = payload
+        assert acked, "workload never got started"
+        for lpn, payload in acked.items():
+            try:
+                assert layer.read(lpn) == payload
+            except UncorrectableReadError:
+                pytest.fail(f"acknowledged lpn {lpn} became unreadable")
+        # Retirement bookkeeping agrees between driver and chip.
+        assert layer.retired_blocks == stack.flash.bad_blocks
+        assert not (layer.allocator.free_blocks() & layer.retired_blocks)
+
+
+class TestEraseRetry:
+    def test_bounded_retry_then_retirement(self, small_geometry):
+        plan = FaultPlan(erase_fail_prob=1.0)
+        stack, _ = _faulty_stack(small_geometry, "ftl", plan)
+        layer = stack.layer
+        before = layer.stats.erase_retries
+        assert layer._erase_with_recovery(3) is False
+        assert layer.stats.erase_retries - before == ERASE_RETRY_LIMIT - 1
+        layer._release_or_retire(3)
+        assert 3 in layer.retired_blocks
+        assert 3 in stack.flash.bad_blocks
+
+    def test_transient_failure_recovers_within_budget(self, small_geometry):
+        # Seed chosen so the first erase attempt fails and a retry lands.
+        plan = FaultPlan(seed=0, erase_fail_prob=0.5)
+        stack, injector = _faulty_stack(small_geometry, "ftl", plan)
+        layer = stack.layer
+        ok = sum(layer._erase_with_recovery(b) for b in range(8))
+        assert ok >= 1
+        assert injector.stats.erase_faults >= 1
+
+
+class TestLevelerRetiredFlags:
+    def test_retired_set_stays_flagged_across_resets(self, small_geometry):
+        swl = SWLConfig(threshold=10, k=1)
+        plan = FaultPlan()
+        stack, injector = _faulty_stack(
+            small_geometry, "ftl", plan, swl=swl, seed=2
+        )
+        layer, leveler = stack.layer, stack.leveler
+        layer.write(0, b"seed")
+        victim = next(
+            block for block in range(small_geometry.num_blocks)
+            if stack.flash.valid_pages(block)
+        )
+        injector.bad_program_blocks.add(victim)
+        layer.write(0, b"move")
+        findex = leveler.bet.flag_index(victim)
+        assert findex in leveler.retired_flags
+        assert leveler.bet.is_set(findex)
+        # After a BET reset the retired set must be re-flagged so
+        # SWL-Procedure never picks it as a cold candidate.
+        leveler.bet.reset()
+        leveler._reset_interval()
+        assert leveler.bet.is_set(findex)
