@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick examples clean
+.PHONY: install test bench bench-quick bench-trajectory examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,11 @@ bench-log:
 
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_trajectory.py
+
+# Just the per-PR trajectory point (BENCH_PR.json), without the suite.
+bench-trajectory:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_trajectory.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done

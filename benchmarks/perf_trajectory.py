@@ -1,0 +1,191 @@
+"""Per-PR performance trajectory point: ``make bench-quick`` artifact.
+
+Measures three things quickly (~a minute) and writes them to
+``BENCH_PR.json`` at the repository root, so successive PRs leave a
+comparable breadcrumb trail:
+
+* **Replay throughput** — requests/second through the simulation engine
+  for the classic single-channel stack and a 4-channel page-interleaved
+  array, same workload;
+* **Table-2 extra-erase deltas** — the measured extra block erases of
+  SWL (T = 100 and T = 1000) over the no-SWL baseline, next to the
+  paper's analytic worst-case ratios for the matching Table 2 rows (the
+  measured average-case must sit far below the worst case);
+* **run_matrix parallelism** — wall-clock of a 4-spec sweep serial vs
+  ``workers=4`` plus a result-equality check.  Speedup depends on the
+  host's core count (recorded alongside); on a single-core runner the
+  process pool cannot win and the point documents that honestly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.overhead import TABLE2_CONFIGS
+from repro.core.config import SWLConfig
+from repro.sim.experiment import (
+    ExperimentSpec,
+    make_workload,
+    run_fixed_horizon,
+    run_matrix,
+    scaled_mlc2_geometry,
+    workload_params_for,
+)
+
+#: Quick-mode knobs: small chip, compressed endurance, short horizon.
+BLOCKS = 48
+SCALE = 100
+HORIZON = 1.0 * 86_400.0
+SEED = 7
+
+
+def _git_revision() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None
+
+
+def _shared_trace(spec: ExperimentSpec):
+    params = workload_params_for(spec, duration=HORIZON, seed=SEED + 1)
+    workload = make_workload(params)
+    return workload.requests(), workload.prefill_requests()
+
+
+def measure_throughput() -> dict[str, object]:
+    """Requests/second: single stack vs a 4-channel array, same trace."""
+    geometry = scaled_mlc2_geometry(BLOCKS, scale=SCALE)
+    single = ExperimentSpec("ftl", geometry, SWLConfig(threshold=100, k=0),
+                            seed=SEED)
+    trace, warmup = _shared_trace(single)
+    points = {}
+    for label, spec in (
+        ("single_channel", single),
+        ("four_channel_global", ExperimentSpec(
+            "ftl", geometry, SWLConfig(threshold=100, k=0), seed=SEED,
+            channels=4, striping="page", swl_scope="global",
+        )),
+    ):
+        start = time.perf_counter()
+        result = run_fixed_horizon(spec, trace, HORIZON, warmup=warmup)
+        elapsed = time.perf_counter() - start
+        points[label] = {
+            "label": result.label,
+            "requests": result.requests,
+            "wall_s": round(elapsed, 3),
+            "requests_per_s": round(result.requests / elapsed, 1),
+        }
+    return points
+
+
+def measure_table2_deltas() -> list[dict[str, object]]:
+    """Measured SWL extra-erase ratios vs the paper's Table 2 worst case."""
+    geometry = scaled_mlc2_geometry(BLOCKS, scale=SCALE)
+    baseline_spec = ExperimentSpec("ftl", geometry, None, seed=SEED)
+    trace, warmup = _shared_trace(baseline_spec)
+    baseline = run_fixed_horizon(baseline_spec, trace, HORIZON, warmup=warmup)
+    rows: list[dict[str, object]] = []
+    for threshold in (100.0, 1000.0):
+        spec = ExperimentSpec(
+            "ftl", geometry, SWLConfig(threshold=threshold, k=0), seed=SEED
+        )
+        result = run_fixed_horizon(spec, trace, HORIZON, warmup=warmup)
+        measured = (
+            (result.total_erases - baseline.total_erases)
+            / baseline.total_erases
+        )
+        worst_cases = {
+            f"H{config.hot_blocks}_C{config.cold_blocks}":
+                round(config.extra_erase_ratio(), 6)
+            for config in TABLE2_CONFIGS
+            if config.threshold == threshold
+        }
+        rows.append({
+            "threshold": threshold,
+            "baseline_erases": baseline.total_erases,
+            "swl_erases": result.total_erases,
+            "measured_extra_erase_ratio": round(measured, 6),
+            "table2_worst_case_ratios": worst_cases,
+            "within_worst_case": all(
+                measured <= worst for worst in worst_cases.values()
+            ),
+        })
+    return rows
+
+
+def measure_run_matrix_parallel() -> dict[str, object]:
+    """Serial vs workers=4 wall-clock over a 4-spec sweep; results equal."""
+    geometry = scaled_mlc2_geometry(BLOCKS, scale=SCALE)
+    specs = [
+        ExperimentSpec("ftl", geometry, SWLConfig(threshold=t, k=k),
+                       seed=SEED)
+        for t in (100.0, 1000.0) for k in (0, 3)
+    ]
+    trace, warmup = _shared_trace(specs[0])
+    start = time.perf_counter()
+    serial = run_matrix(specs, trace, horizon=HORIZON, warmup=warmup)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_matrix(specs, trace, horizon=HORIZON, warmup=warmup,
+                          workers=4)
+    parallel_s = time.perf_counter() - start
+    identical = all(
+        a.as_dict() == b.as_dict() for a, b in zip(serial, parallel)
+    )
+    return {
+        "specs": len(specs),
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(serial_s, 3),
+        "workers4_wall_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "results_identical": identical,
+    }
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "BENCH_PR.json"
+    )
+    point = {
+        "schema": 1,
+        "generated_unix": int(time.time()),
+        "git_revision": _git_revision(),
+        "python": platform.python_version(),
+        "config": {"blocks": BLOCKS, "scale": SCALE,
+                   "horizon_s": HORIZON, "seed": SEED},
+        "throughput": measure_throughput(),
+        "table2_extra_erases": measure_table2_deltas(),
+        "run_matrix_parallel": measure_run_matrix_parallel(),
+    }
+    output.write_text(json.dumps(point, indent=2) + "\n")
+    print(f"wrote {output}")
+    matrix = point["run_matrix_parallel"]
+    print(f"  replay: "
+          f"{point['throughput']['single_channel']['requests_per_s']} req/s "
+          f"(1ch), "
+          f"{point['throughput']['four_channel_global']['requests_per_s']} "
+          f"req/s (4ch)")
+    print(f"  run_matrix x{matrix['specs']}: {matrix['serial_wall_s']}s "
+          f"serial, {matrix['workers4_wall_s']}s with workers=4 "
+          f"(speedup {matrix['speedup']}x on {matrix['cpu_count']} CPUs, "
+          f"identical={matrix['results_identical']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -27,6 +27,13 @@ Quickstart
 True
 """
 
+from repro.array import (
+    DeviceArray,
+    StripingPolicy,
+    WearCoordinator,
+    build_array,
+    make_striping,
+)
 from repro.core import (
     BetStore,
     BlockErasingTable,
@@ -58,8 +65,10 @@ from repro.ftl import (
     NFTL,
     BlockDevice,
     PageMappingFTL,
+    StorageBackend,
     StorageStack,
     TranslationLayer,
+    build_backend,
     build_stack,
 )
 from repro.sim import (
@@ -71,6 +80,7 @@ from repro.sim import (
     make_base_trace,
     markdown_report,
     run_fixed_horizon,
+    run_matrix,
     run_until_first_failure,
     workload_params_for,
 )
@@ -83,6 +93,7 @@ __all__ = [
     "BlockDevice",
     "BlockErasingTable",
     "CrashConsistencyHarness",
+    "DeviceArray",
     "DualPoolLeveler",
     "ExperimentSpec",
     "FatFileSystem",
@@ -106,17 +117,24 @@ __all__ = [
     "SimResult",
     "Simulator",
     "StopCondition",
+    "StorageBackend",
     "StorageStack",
+    "StripingPolicy",
     "TranslationLayer",
+    "WearCoordinator",
     "WearSample",
     "WorkloadParams",
+    "build_array",
+    "build_backend",
     "build_stack",
     "make_base_trace",
+    "make_striping",
     "markdown_report",
     "mlc2",
     "paper_sweep",
     "run_fault_campaign",
     "run_fixed_horizon",
+    "run_matrix",
     "run_until_first_failure",
     "slc_large_block",
     "slc_small_block",

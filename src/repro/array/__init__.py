@@ -1,0 +1,31 @@
+"""Multi-channel device arrays (striping, dispatch, wear coordination).
+
+This package scales the single-chip reproduction to array topologies: a
+:class:`DeviceArray` shards the storage stack across N channels behind a
+striped, batched dispatcher, and a :class:`WearCoordinator` runs the
+DAC'07 SWL-Procedure at array scope.  A 1-channel array is bit-identical
+to the plain :class:`~repro.ftl.factory.StorageStack`.
+"""
+
+from repro.array.coordinator import SCOPES, CoordinatorStats, WearCoordinator
+from repro.array.device import DeviceArray, build_array
+from repro.array.striping import (
+    ContiguousRange,
+    PageInterleaved,
+    StripingPolicy,
+    make_striping,
+    striping_names,
+)
+
+__all__ = [
+    "SCOPES",
+    "ContiguousRange",
+    "CoordinatorStats",
+    "DeviceArray",
+    "PageInterleaved",
+    "StripingPolicy",
+    "WearCoordinator",
+    "build_array",
+    "make_striping",
+    "striping_names",
+]

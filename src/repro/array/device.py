@@ -1,0 +1,267 @@
+"""Multi-channel device arrays: N independent shards behind one backend.
+
+A :class:`DeviceArray` owns N channel shards — each a complete
+chip + MTD + FTL + SW Leveler stack built by the existing factory — and
+implements the same :class:`~repro.ftl.factory.StorageBackend` protocol
+as a single :class:`~repro.ftl.factory.StorageStack`, so the simulation
+engine drives either without knowing the topology.
+
+Three pieces compose it:
+
+* a :class:`~repro.array.striping.StripingPolicy` routes every array
+  logical page to a ``(shard, local page)`` pair;
+* the **batched dispatcher** (:meth:`DeviceArray.write_pages`) groups a
+  request's page span per shard *before* touching any stack, so each
+  shard sees one contiguous batch per request instead of interleaved
+  single-page calls — the request batching that keeps per-shard GC
+  decisions coherent;
+* an optional :class:`~repro.array.coordinator.WearCoordinator`
+  arbitrates SWL-Procedure across shards (per-shard-T or global-T).
+
+Shards are fully independent below the dispatcher: separate chips,
+separate free pools, separate BETs, separate fault injectors.  All
+aggregate statistics are sums over shards; per-shard breakdowns stay
+available for reporting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Sequence
+
+from repro.array.coordinator import WearCoordinator
+from repro.array.striping import StripingPolicy, make_striping
+from repro.core.config import SWLConfig
+from repro.flash.chip import FirstFailure
+from repro.flash.errors import PowerLossError
+from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION
+from repro.ftl.factory import StorageStack, _count_power_loss_pages, build_stack
+from repro.util.rng import make_rng, spawn_rng
+
+if TYPE_CHECKING:
+    from repro.fault.plan import FaultPlan
+    from repro.flash.geometry import FlashGeometry
+
+
+class DeviceArray:
+    """N channel shards behind a striped, batched dispatcher.
+
+    Parameters
+    ----------
+    shards:
+        The per-channel stacks, all over the same geometry and exporting
+        the same logical page count.
+    striping:
+        Address routing policy; its shard count and per-shard page count
+        must match ``shards``.
+    coordinator:
+        Cross-shard SW-Leveler arbitration; ``None`` when the shards run
+        without static wear leveling.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[StorageStack],
+        striping: StripingPolicy,
+        *,
+        coordinator: WearCoordinator | None = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a device array needs at least one shard")
+        if striping.num_shards != len(shards):
+            raise ValueError(
+                f"striping routes {striping.num_shards} shards but "
+                f"{len(shards)} were provided"
+            )
+        pages = {shard.num_logical_pages for shard in shards}
+        if len(pages) != 1:
+            raise ValueError(f"shards export unequal logical spaces: {pages}")
+        if striping.pages_per_shard != pages.pop():
+            raise ValueError(
+                f"striping assumes {striping.pages_per_shard} pages per "
+                f"shard, shards export {shards[0].num_logical_pages}"
+            )
+        self.shards = list(shards)
+        self.striping = striping
+        self.coordinator = coordinator
+
+    # ------------------------------------------------------------------
+    # StorageBackend protocol
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        scope = self.coordinator.scope if self.coordinator else "no-swl"
+        return (
+            f"{self.shards[0].name}x{len(self.shards)}"
+            f"[{self.striping.name},{scope}]"
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def sectors_per_page(self) -> int:
+        return self.shards[0].sectors_per_page
+
+    @property
+    def num_logical_pages(self) -> int:
+        return self.striping.total_pages
+
+    def _group(self, lpns: Sequence[int]) -> list[tuple[int, list[int]]]:
+        """The batched dispatcher: one ``(shard, local LPNs)`` batch each.
+
+        Pages keep their request order within a shard; shards are applied
+        in ascending index so replays are deterministic regardless of the
+        span's starting channel.
+        """
+        batches: dict[int, list[int]] = {}
+        for lpn in lpns:
+            shard, local = self.striping.route(lpn)
+            batches.setdefault(shard, []).append(local)
+        return sorted(batches.items())
+
+    def write_pages(self, lpns: Sequence[int]) -> int:
+        done = 0
+        try:
+            for shard, batch in self._group(lpns):
+                done += self.shards[shard].write_pages(batch)
+        except PowerLossError as exc:
+            _count_power_loss_pages(exc, done)
+            raise
+        return done
+
+    def read_pages(self, lpns: Sequence[int]) -> int:
+        done = 0
+        try:
+            for shard, batch in self._group(lpns):
+                done += self.shards[shard].read_pages(batch)
+        except PowerLossError as exc:
+            _count_power_loss_pages(exc, done)
+            raise
+        return done
+
+    def on_request(self, now: float) -> None:
+        for shard in self.shards:
+            shard.on_request(now)
+
+    @property
+    def first_failure(self) -> FirstFailure | None:
+        """The first shard-local wear-out record, or ``None``.
+
+        The replay engine pins the failure *time* the moment this turns
+        non-``None``; scanning shards in index order is deterministic
+        because all shards advance in lock-step with the request stream.
+        """
+        for shard in self.shards:
+            if shard.first_failure is not None:
+                return shard.first_failure
+        return None
+
+    @property
+    def erase_counts(self) -> list[int]:
+        """Per-block erase counts of every shard, concatenated."""
+        counts: list[int] = []
+        for shard in self.shards:
+            counts.extend(shard.erase_counts)
+        return counts
+
+    def shard_erase_counts(self) -> list[list[int]]:
+        return [list(shard.erase_counts) for shard in self.shards]
+
+    def total_erases(self) -> int:
+        return sum(shard.total_erases() for shard in self.shards)
+
+    @property
+    def busy_time(self) -> float:
+        return sum(shard.busy_time for shard in self.shards)
+
+    def _merged(self, dicts: list[dict[str, int]]) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for stats in dicts:
+            for key, value in stats.items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def layer_stats(self) -> dict[str, int]:
+        return self._merged([shard.layer_stats() for shard in self.shards])
+
+    def swl_stats(self) -> dict[str, int]:
+        merged = self._merged([shard.swl_stats() for shard in self.shards])
+        if self.coordinator is not None and merged:
+            for key, value in self.coordinator.stats.as_dict().items():
+                merged[f"coord_{key}"] = value
+        return merged
+
+    def fault_stats(self) -> dict[str, int]:
+        return self._merged([shard.fault_stats() for shard in self.shards])
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceArray(shards={len(self.shards)}, "
+            f"striping={self.striping.name!r}, "
+            f"scope={self.coordinator.scope if self.coordinator else None!r}, "
+            f"logical_pages={self.num_logical_pages})"
+        )
+
+
+def build_array(
+    geometry: "FlashGeometry",
+    driver: str = "ftl",
+    swl: SWLConfig | None = None,
+    *,
+    channels: int,
+    striping: str = "page",
+    swl_scope: str = "per-shard",
+    op_ratio: float = DEFAULT_OP_RATIO,
+    gc_free_fraction: float = GC_FREE_FRACTION,
+    alloc_policy: str = "lifo",
+    retire_worn: bool = False,
+    store_data: bool = False,
+    rng: random.Random | None = None,
+    fault_plan: "FaultPlan | None" = None,
+) -> DeviceArray:
+    """Assemble a :class:`DeviceArray` of ``channels`` identical shards.
+
+    Every shard is a full stack over its own copy of ``geometry`` (one
+    chip per channel, the physical layout of real multi-channel parts).
+    Shard levelers draw from decorrelated child streams of ``rng``
+    (``shard0``, ``shard1``, ...), and ``fault_plan`` — when given —
+    yields one :class:`~repro.fault.injector.FaultInjector` per shard
+    with a per-shard derived seed, so no two channels replay the same
+    fault sequence.
+    """
+    if channels <= 0:
+        raise ValueError(f"channels must be positive, got {channels}")
+    base = rng or make_rng()
+    shards = []
+    for index in range(channels):
+        injector = None
+        if fault_plan is not None:
+            from repro.fault.injector import FaultInjector
+
+            injector = FaultInjector(fault_plan.for_shard(index))
+        shards.append(
+            build_stack(
+                geometry,
+                driver,
+                swl,
+                op_ratio=op_ratio,
+                gc_free_fraction=gc_free_fraction,
+                alloc_policy=alloc_policy,
+                retire_worn=retire_worn,
+                store_data=store_data,
+                rng=spawn_rng(base, f"shard{index}"),
+                injector=injector,
+            )
+        )
+    coordinator = None
+    if swl is not None and swl.enabled:
+        coordinator = WearCoordinator(swl.threshold, scope=swl_scope)
+        for shard in shards:
+            assert shard.leveler is not None
+            coordinator.attach(shard.leveler)
+    policy = make_striping(
+        striping, channels, shards[0].layer.num_logical_pages
+    )
+    return DeviceArray(shards, policy, coordinator=coordinator)

@@ -1,0 +1,125 @@
+"""Striping policies: routing logical pages to channel shards.
+
+A multi-channel device exports one flat logical page space but stores it
+across N independent channel shards (chip + FTL + SW Leveler each).  The
+striping policy is the pure address arithmetic in between: it maps an
+array-wide logical page number (LPN) to a ``(shard, local LPN)`` pair and
+back.  Two layouts are provided:
+
+* :class:`PageInterleaved` — round-robin, page granularity.  Consecutive
+  logical pages land on consecutive channels, so a sequential write of N
+  pages touches every channel once — the layout real multi-channel
+  controllers use to extract parallelism.
+* :class:`ContiguousRange` — each shard owns one contiguous slice of the
+  logical space.  Locality-preserving: a file's pages stay on one channel,
+  which concentrates wear and is exactly the imbalance the distributed
+  wear-leveling ablation wants to exercise.
+
+Both are bijections over ``[0, num_shards * pages_per_shard)``; a
+1-shard policy of either kind is the identity map, which is what makes a
+1-channel array bit-identical to the single-chip stack.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class StripingPolicy(ABC):
+    """Bijective map between array LPNs and per-shard LPNs.
+
+    Parameters
+    ----------
+    num_shards:
+        Channel count of the array.
+    pages_per_shard:
+        Logical pages exported by every shard (shards are uniform).
+    """
+
+    #: Short name used by the CLI and in labels.
+    name: str = "abstract"
+
+    def __init__(self, num_shards: int, pages_per_shard: int) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if pages_per_shard <= 0:
+            raise ValueError(
+                f"pages_per_shard must be positive, got {pages_per_shard}"
+            )
+        self.num_shards = num_shards
+        self.pages_per_shard = pages_per_shard
+
+    @property
+    def total_pages(self) -> int:
+        """Logical pages exported by the whole array."""
+        return self.num_shards * self.pages_per_shard
+
+    def check(self, lpn: int) -> None:
+        if not 0 <= lpn < self.total_pages:
+            raise ValueError(
+                f"array LPN {lpn} out of range [0, {self.total_pages})"
+            )
+
+    @abstractmethod
+    def route(self, lpn: int) -> tuple[int, int]:
+        """Array LPN -> ``(shard, local LPN)``."""
+
+    @abstractmethod
+    def unroute(self, shard: int, local_lpn: int) -> int:
+        """``(shard, local LPN)`` -> array LPN (inverse of :meth:`route`)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(shards={self.num_shards}, "
+            f"pages_per_shard={self.pages_per_shard})"
+        )
+
+
+class PageInterleaved(StripingPolicy):
+    """Round-robin page interleaving: ``lpn % N`` picks the channel."""
+
+    name = "page"
+
+    def route(self, lpn: int) -> tuple[int, int]:
+        self.check(lpn)
+        return lpn % self.num_shards, lpn // self.num_shards
+
+    def unroute(self, shard: int, local_lpn: int) -> int:
+        return local_lpn * self.num_shards + shard
+
+
+class ContiguousRange(StripingPolicy):
+    """Range sharding: shard ``i`` owns LPNs ``[i*P, (i+1)*P)``."""
+
+    name = "range"
+
+    def route(self, lpn: int) -> tuple[int, int]:
+        self.check(lpn)
+        return lpn // self.pages_per_shard, lpn % self.pages_per_shard
+
+    def unroute(self, shard: int, local_lpn: int) -> int:
+        return shard * self.pages_per_shard + local_lpn
+
+
+_POLICIES: dict[str, type[StripingPolicy]] = {
+    PageInterleaved.name: PageInterleaved,
+    ContiguousRange.name: ContiguousRange,
+}
+
+
+def striping_names() -> list[str]:
+    """Names accepted by :func:`make_striping` (``page``, ``range``)."""
+    return sorted(_POLICIES)
+
+
+def make_striping(
+    name: str, num_shards: int, pages_per_shard: int
+) -> StripingPolicy:
+    """Instantiate a striping policy by name."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown striping policy {name!r}; choose from {striping_names()}"
+        ) from None
+    return cls(num_shards, pages_per_shard)

@@ -55,6 +55,19 @@ def _add_stack_arguments(parser: argparse.ArgumentParser) -> None:
                         help="BET resolution exponent k (default: 0)")
     parser.add_argument("--no-swl", action="store_true",
                         help="run the baseline without static wear leveling")
+    parser.add_argument("--channels", type=int, default=1,
+                        help="channel shards in the device array (default: 1 "
+                             "= the classic single-chip stack)")
+    parser.add_argument("--striping", choices=("page", "range"),
+                        default="page",
+                        help="logical-page striping across channels: "
+                             "page-interleaved round-robin or contiguous "
+                             "ranges (default: page)")
+    parser.add_argument("--swl-scope", choices=("per-shard", "global"),
+                        default="per-shard",
+                        help="wear-leveling coordination: independent "
+                             "per-shard thresholds or one array-wide "
+                             "global-T coordinator (default: per-shard)")
     parser.add_argument("--seed", type=int, default=0, help="master seed")
 
 
@@ -139,7 +152,11 @@ def _command_generate(args: argparse.Namespace) -> int:
 def _spec(args: argparse.Namespace) -> ExperimentSpec:
     geometry = scaled_mlc2_geometry(args.blocks, scale=args.scale)
     swl = None if args.no_swl else SWLConfig(threshold=args.threshold, k=args.k)
-    return ExperimentSpec(args.driver, geometry, swl, seed=args.seed)
+    return ExperimentSpec(
+        args.driver, geometry, swl, seed=args.seed,
+        channels=args.channels, striping=args.striping,
+        swl_scope=args.swl_scope,
+    )
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
@@ -156,20 +173,34 @@ def _command_simulate(args: argparse.Namespace) -> int:
         warmup = workload.prefill_requests()
     result = run_until_first_failure(spec, trace, warmup=warmup)
     distribution = result.erase_distribution
-    print(format_table(
-        ["metric", "value"],
-        [
-            ["configuration", result.label],
-            ["first failure (simulated days)",
-             round((result.first_failure_time or 0.0) / DAY, 3)],
-            ["total block erases", result.total_erases],
-            ["live-page copies", result.live_page_copies],
-            ["erase avg / dev / max",
-             f"{distribution.average:.0f} / {distribution.deviation:.0f} / "
-             f"{distribution.maximum}"],
-        ],
-        title="Simulation report",
-    ))
+    rows: list[list[object]] = [
+        ["configuration", result.label],
+        ["first failure (simulated days)",
+         round((result.first_failure_time or 0.0) / DAY, 3)],
+        ["total block erases", result.total_erases],
+        ["live-page copies", result.live_page_copies],
+        ["erase avg / dev / max",
+         f"{distribution.average:.0f} / {distribution.deviation:.0f} / "
+         f"{distribution.maximum}"],
+    ]
+    print(format_table(["metric", "value"], rows, title="Simulation report"))
+    if result.shard_erase_distributions:
+        shard_rows: list[list[object]] = [
+            [f"shard {index}", f"{dist.average:.0f}",
+             f"{dist.deviation:.0f}", dist.maximum, dist.total]
+            for index, dist in enumerate(result.shard_erase_distributions)
+        ]
+        shard_rows.append(
+            ["merged", f"{distribution.average:.0f}",
+             f"{distribution.deviation:.0f}", distribution.maximum,
+             distribution.total]
+        )
+        print()
+        print(format_table(
+            ["shard", "erase avg", "dev", "max", "total"],
+            shard_rows,
+            title=f"Per-shard erase distributions ({result.channels} channels)",
+        ))
     return 0
 
 
@@ -213,6 +244,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_faults(args: argparse.Namespace) -> int:
+    if args.channels != 1:
+        print("the faults campaign drives a single-channel stack; "
+              "--channels must be 1", file=sys.stderr)
+        return 2
     geometry = scaled_mlc2_geometry(args.blocks, scale=args.scale)
     swl = None if args.no_swl else SWLConfig(threshold=args.threshold, k=args.k)
     plan = FaultPlan(

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.core.bet import BetStore, BlockErasingTable
 from repro.core.policies import (
@@ -35,6 +35,9 @@ from repro.core.policies import (
 )
 from repro.util.diagnostics import leveler_log
 from repro.util.rng import make_rng
+
+if TYPE_CHECKING:
+    from repro.array.coordinator import WearCoordinator
 
 
 class WearLevelingHost(Protocol):
@@ -142,6 +145,12 @@ class SWLeveler:
         self._deferred_check = False
         self._requests_seen = 0
         self._now = 0.0
+        #: Array-scale coordination hook.  ``None`` (standalone stacks)
+        #: keeps the paper's behaviour: every fired trigger evaluates this
+        #: leveler's own threshold.  A :class:`~repro.array.coordinator.
+        #: WearCoordinator` installs itself here to arbitrate SWL-Procedure
+        #: across channel shards instead.
+        self.coordinator: "WearCoordinator | None" = None
 
     # ------------------------------------------------------------------
     # Host-facing notifications
@@ -162,7 +171,24 @@ class SWLeveler:
             if self._suspended:
                 self._deferred_check = True
             else:
-                self.maybe_run()
+                self._dispatch_trigger()
+
+    def _dispatch_trigger(self) -> None:
+        """Route a fired trigger: locally, or via the array coordinator."""
+        if self.coordinator is not None:
+            self.coordinator.on_trigger(self)
+        else:
+            self.maybe_run()
+
+    @property
+    def in_procedure(self) -> bool:
+        """``True`` while SWL-Procedure is running on this leveler."""
+        return self._in_procedure
+
+    @property
+    def suspended(self) -> bool:
+        """``True`` while the host driver has procedure runs deferred."""
+        return self._suspended > 0
 
     def suspend(self) -> None:
         """Defer procedure runs (the host is inside its own GC/merge).
@@ -179,7 +205,7 @@ class SWLeveler:
         self._suspended -= 1
         if self._suspended == 0 and self._deferred_check:
             self._deferred_check = False
-            self.maybe_run()
+            self._dispatch_trigger()
 
     def on_block_retired(self, block: int) -> None:
         """A block left service permanently (grown bad / worn out).
@@ -216,7 +242,7 @@ class SWLeveler:
                 if self._suspended:
                     self._deferred_check = True
                 else:
-                    self.maybe_run()
+                    self._dispatch_trigger()
 
     # ------------------------------------------------------------------
     # Algorithm 1 — SWL-Procedure

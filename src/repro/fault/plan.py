@@ -33,7 +33,8 @@ Failure modes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass, field, replace
 
 
 @dataclass(frozen=True)
@@ -97,6 +98,28 @@ class FaultPlan:
         # Normalize the schedule so the injector can pop points in order.
         object.__setattr__(
             self, "power_loss_at", tuple(sorted(set(self.power_loss_at)))
+        )
+
+    def for_shard(self, index: int) -> "FaultPlan":
+        """A copy of this plan reseeded for one channel shard.
+
+        Device arrays attach one injector per shard; giving every shard
+        the same seed would fault all channels in lock-step, which no
+        physical array does.  The shard seed is drawn from a stream named
+        by ``(seed, shard index)`` — the same salted-stream idiom as
+        :func:`~repro.util.rng.spawn_rng` — so plans stay reproducible
+        and shard streams stay decorrelated.  Scheduled power-loss
+        ordinals are kept only on shard 0: operation ordinals are counted
+        per chip, and replaying the schedule on every channel would
+        multiply one planned outage into N.
+        """
+        if index < 0:
+            raise ValueError(f"shard index must be >= 0, got {index}")
+        shard_seed = random.Random(f"{self.seed}:shard{index}").getrandbits(48)
+        return replace(
+            self,
+            seed=shard_seed,
+            power_loss_at=self.power_loss_at if index == 0 else (),
         )
 
     def any_faults(self) -> bool:

@@ -18,7 +18,14 @@ from repro.ftl.base import (
 )
 from repro.ftl.blockdev import BlockDevice
 from repro.ftl.cleaner import CyclicScanner, GreedyScore
-from repro.ftl.factory import StorageStack, build_stack, driver_names, make_layer
+from repro.ftl.factory import (
+    StorageBackend,
+    StorageStack,
+    build_backend,
+    build_stack,
+    driver_names,
+    make_layer,
+)
 from repro.ftl.nftl import NFTL, BlockChain
 from repro.ftl.page_mapping import PageMappingFTL
 
@@ -33,8 +40,10 @@ __all__ = [
     "LayerStats",
     "NFTL",
     "PageMappingFTL",
+    "StorageBackend",
     "StorageStack",
     "TranslationLayer",
+    "build_backend",
     "build_stack",
     "driver_names",
     "make_layer",

@@ -3,17 +3,24 @@
 Experiments build the same stack over and over; :func:`build_stack`
 assembles it in one call from a geometry, a driver name, and an
 :class:`~repro.core.config.SWLConfig`.
+
+This module also defines the :class:`StorageBackend` protocol — the
+surface the simulation engine drives.  A :class:`StorageStack` is the
+1-channel backend; :class:`~repro.array.DeviceArray` implements the same
+protocol over N channel shards, and :func:`build_backend` picks between
+them from a channel count.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 from repro.core.config import SWLConfig
 from repro.core.leveler import SWLeveler
-from repro.flash.chip import NandFlash
+from repro.flash.chip import FirstFailure, NandFlash
+from repro.flash.errors import PowerLossError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.mtd import MtdDevice
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
@@ -21,7 +28,9 @@ from repro.ftl.nftl import NFTL
 from repro.ftl.page_mapping import PageMappingFTL
 
 if TYPE_CHECKING:
+    from repro.array.device import DeviceArray
     from repro.fault.injector import FaultInjector
+    from repro.fault.plan import FaultPlan
 
 _DRIVERS: dict[str, type[TranslationLayer]] = {
     "ftl": PageMappingFTL,
@@ -59,9 +68,74 @@ def make_layer(
     )
 
 
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What the simulation engine needs from a storage system.
+
+    Implemented by :class:`StorageStack` (one channel) and by
+    :class:`~repro.array.DeviceArray` (N striped channels), so the engine,
+    runners, and reporting never depend on a concrete topology.  Methods
+    that aggregate (``layer_stats``, ``total_erases``, ...) sum over every
+    shard of the backend; per-shard breakdowns come from
+    :meth:`shard_erase_counts`.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def num_shards(self) -> int: ...
+
+    @property
+    def sectors_per_page(self) -> int: ...
+
+    @property
+    def num_logical_pages(self) -> int: ...
+
+    def write_pages(self, lpns: Sequence[int]) -> int: ...
+
+    def read_pages(self, lpns: Sequence[int]) -> int: ...
+
+    def on_request(self, now: float) -> None: ...
+
+    @property
+    def first_failure(self) -> FirstFailure | None: ...
+
+    @property
+    def erase_counts(self) -> list[int]: ...
+
+    def shard_erase_counts(self) -> list[list[int]]: ...
+
+    def total_erases(self) -> int: ...
+
+    @property
+    def busy_time(self) -> float: ...
+
+    def layer_stats(self) -> dict[str, int]: ...
+
+    def swl_stats(self) -> dict[str, int]: ...
+
+    def fault_stats(self) -> dict[str, int]: ...
+
+
+def _count_power_loss_pages(exc: PowerLossError, done: int) -> None:
+    """Accumulate pages applied before a power loss onto the exception.
+
+    A power loss aborts a batch mid-flight; the engine still reports the
+    partial request, so the completed page count rides on the exception
+    (``pages_done``) rather than being lost with the stack frame.
+    """
+    exc.pages_done = getattr(exc, "pages_done", 0) + done  # type: ignore[attr-defined]
+
+
 @dataclass
 class StorageStack:
-    """A fully wired flash storage system (paper Figure 1, below the VFS)."""
+    """A fully wired flash storage system (paper Figure 1, below the VFS).
+
+    Also the 1-channel :class:`StorageBackend`: the simulation engine
+    drives it through the protocol methods below, which a
+    :class:`~repro.array.DeviceArray` reimplements across shards.
+    """
 
     flash: NandFlash
     mtd: MtdDevice
@@ -74,6 +148,77 @@ class StorageStack:
         if self.leveler is not None:
             label += f"+SWL+k={self.leveler.bet.k}+T={int(self.leveler.threshold)}"
         return label
+
+    # ------------------------------------------------------------------
+    # StorageBackend protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return 1
+
+    @property
+    def sectors_per_page(self) -> int:
+        return self.mtd.geometry.sectors_per_page
+
+    @property
+    def num_logical_pages(self) -> int:
+        return self.layer.num_logical_pages
+
+    def write_pages(self, lpns: Sequence[int]) -> int:
+        """Write each logical page in order; returns the pages written."""
+        done = 0
+        try:
+            for lpn in lpns:
+                self.layer.write(lpn)
+                done += 1
+        except PowerLossError as exc:
+            _count_power_loss_pages(exc, done)
+            raise
+        return done
+
+    def read_pages(self, lpns: Sequence[int]) -> int:
+        """Read each logical page in order; returns the pages read."""
+        done = 0
+        try:
+            for lpn in lpns:
+                self.layer.read(lpn)
+                done += 1
+        except PowerLossError as exc:
+            _count_power_loss_pages(exc, done)
+            raise
+        return done
+
+    def on_request(self, now: float) -> None:
+        if self.leveler is not None:
+            self.leveler.on_request(now)
+
+    @property
+    def first_failure(self) -> FirstFailure | None:
+        return self.flash.first_failure
+
+    @property
+    def erase_counts(self) -> list[int]:
+        return self.flash.erase_counts
+
+    def shard_erase_counts(self) -> list[list[int]]:
+        return [self.flash.erase_counts]
+
+    def total_erases(self) -> int:
+        return self.flash.total_erases()
+
+    @property
+    def busy_time(self) -> float:
+        return self.mtd.busy_time
+
+    def layer_stats(self) -> dict[str, int]:
+        return self.layer.stats.as_dict()
+
+    def swl_stats(self) -> dict[str, int]:
+        return self.leveler.stats.as_dict() if self.leveler else {}
+
+    def fault_stats(self) -> dict[str, int]:
+        injector = self.flash.injector
+        return injector.stats.as_dict() if injector is not None else {}
 
 
 def build_stack(
@@ -128,3 +273,74 @@ def build_stack(
         assert leveler is not None
         layer.attach_leveler(leveler)
     return StorageStack(flash=flash, mtd=mtd, layer=layer, leveler=leveler)
+
+
+def build_backend(
+    geometry: FlashGeometry,
+    driver: str = "ftl",
+    swl: SWLConfig | None = None,
+    *,
+    channels: int = 1,
+    striping: str = "page",
+    swl_scope: str = "per-shard",
+    op_ratio: float = DEFAULT_OP_RATIO,
+    gc_free_fraction: float = GC_FREE_FRACTION,
+    alloc_policy: str = "lifo",
+    retire_worn: bool = False,
+    store_data: bool = False,
+    rng: random.Random | None = None,
+    injector: "FaultInjector | None" = None,
+    fault_plan: "FaultPlan | None" = None,
+) -> "StorageStack | DeviceArray":
+    """Build a :class:`StorageBackend` with the requested channel count.
+
+    ``channels=1`` returns a plain :class:`StorageStack` built exactly as
+    :func:`build_stack` would — same construction order, same RNG stream —
+    so single-channel behaviour is bit-identical to the pre-array code
+    path.  ``channels > 1`` returns a
+    :class:`~repro.array.DeviceArray` of independent shards, each a full
+    chip + FTL + SW Leveler stack over ``geometry``, routed by the named
+    striping policy and coordinated per ``swl_scope`` (``"per-shard"`` or
+    ``"global"``).  ``fault_plan`` attaches one derived-seed injector per
+    shard; ``injector`` is the single-channel form and rejected for
+    arrays (shards must not share injector state).
+    """
+    if channels == 1:
+        if fault_plan is not None and injector is None:
+            from repro.fault.injector import FaultInjector
+
+            injector = FaultInjector(fault_plan)
+        return build_stack(
+            geometry,
+            driver,
+            swl,
+            op_ratio=op_ratio,
+            gc_free_fraction=gc_free_fraction,
+            alloc_policy=alloc_policy,
+            retire_worn=retire_worn,
+            store_data=store_data,
+            rng=rng,
+            injector=injector,
+        )
+    from repro.array.device import build_array
+
+    if injector is not None:
+        raise ValueError(
+            "a shared injector cannot serve a multi-channel array; "
+            "pass fault_plan= to derive one injector per shard"
+        )
+    return build_array(
+        geometry,
+        driver,
+        swl,
+        channels=channels,
+        striping=striping,
+        swl_scope=swl_scope,
+        op_ratio=op_ratio,
+        gc_free_fraction=gc_free_fraction,
+        alloc_policy=alloc_policy,
+        retire_worn=retire_worn,
+        store_data=store_data,
+        rng=rng,
+        fault_plan=fault_plan,
+    )

@@ -1,11 +1,16 @@
 """Trace-driven simulation engine.
 
 Replays a sector-granular request stream (finite trace or endless
-resampled trace) against a wired storage stack, advancing a simulated
+resampled trace) against a wired storage backend, advancing a simulated
 clock from the request timestamps, and stops on the first block wear-out
 (for first-failure-time experiments, Figure 5), on a request budget, or on
 a simulated-time horizon (for the 10-year runs behind Table 4 and
 Figures 6-7).
+
+The engine drives the :class:`~repro.ftl.factory.StorageBackend` protocol
+only — it never touches a chip, driver, or leveler directly — so the same
+replay loop serves a single :class:`~repro.ftl.factory.StorageStack` and a
+multi-channel :class:`~repro.array.DeviceArray` alike.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.flash.errors import PowerLossError, TranslationError
-from repro.ftl.factory import StorageStack
+from repro.ftl.factory import StorageBackend
 from repro.sim.metrics import EraseDistribution, first_failure_years
 from repro.traces.model import Request
 
@@ -78,10 +83,20 @@ class SimResult:
     fault_stats: dict[str, int] = field(default_factory=dict)
     #: ``True`` when a scheduled power loss ended the replay early.
     power_lost: bool = False
+    #: Per-shard erase distributions of a multi-channel backend; empty for
+    #: a single stack (the aggregate is then ``erase_distribution``).
+    shard_erase_distributions: list[EraseDistribution] = field(
+        default_factory=list
+    )
 
     @property
     def first_failure_years(self) -> float | None:
         return first_failure_years(self.first_failure_time)
+
+    @property
+    def channels(self) -> int:
+        """Channel count of the backend that produced this result."""
+        return max(1, len(self.shard_erase_distributions))
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -90,6 +105,7 @@ class SimResult:
             "pages_written": self.pages_written,
             "pages_read": self.pages_read,
             "sim_time_s": self.sim_time,
+            "device_busy_time": self.device_busy_time,
             "first_failure_s": self.first_failure_time,
             "first_failure_years": self.first_failure_years,
             "erase_avg": self.erase_distribution.average,
@@ -98,19 +114,27 @@ class SimResult:
             "total_erases": self.total_erases,
             "live_page_copies": self.live_page_copies,
             "gc_runs": self.gc_runs,
+            "channels": self.channels,
+            **{f"layer_{k}": v for k, v in self.layer_stats.items()},
             **{f"swl_{k}": v for k, v in self.swl_stats.items()},
             **({"power_lost": self.power_lost} if self.power_lost else {}),
             **{f"fault_{k}": v for k, v in self.fault_stats.items()},
         }
 
 
+#: Timeline length at which sampling decimates (see ``max_samples``).
+DEFAULT_MAX_SAMPLES = 4096
+
+
 class Simulator:
-    """Replays requests against one storage stack.
+    """Replays requests against one storage backend.
 
     Parameters
     ----------
     stack:
-        A wired :class:`~repro.ftl.factory.StorageStack`.
+        A wired :class:`~repro.ftl.factory.StorageBackend` — a single
+        :class:`~repro.ftl.factory.StorageStack` or a multi-channel
+        :class:`~repro.array.DeviceArray`.
     lba_modulo:
         When ``True`` (default), sector addresses beyond the logical space
         wrap around instead of raising — the paper keeps "accesses within
@@ -126,24 +150,34 @@ class Simulator:
         :class:`WearSample` of the erase-count distribution every interval
         — the time series behind "the distribution of erase counts over
         blocks was much improved".  ``None`` (default) disables sampling.
+    max_samples:
+        Timeline length bound.  When an append would grow past it, the
+        timeline is decimated — every other sample dropped, the sampling
+        interval doubled — so a 10-year horizon holds the resolution it
+        can afford instead of growing without bound.  ``None`` disables
+        the cap.
     """
 
     def __init__(
         self,
-        stack: StorageStack,
+        stack: StorageBackend,
         *,
         lba_modulo: bool = True,
         skip_reads: bool = False,
         sample_interval: float | None = None,
+        max_samples: int | None = DEFAULT_MAX_SAMPLES,
     ) -> None:
         if sample_interval is not None and sample_interval <= 0:
             raise ValueError(
                 f"sample_interval must be positive, got {sample_interval}"
             )
+        if max_samples is not None and max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
         self.stack = stack
         self.lba_modulo = lba_modulo
         self.skip_reads = skip_reads
         self.sample_interval = sample_interval
+        self.max_samples = max_samples
         self.timeline: list[WearSample] = []
         self._next_sample = 0.0 if sample_interval else float("inf")
         self.clock = 0.0
@@ -152,9 +186,8 @@ class Simulator:
         self.pages_read = 0
         self.power_lost = False
         self.first_failure_clock: float | None = None
-        geometry = stack.mtd.geometry
-        self._spp = geometry.sectors_per_page
-        self._logical_pages = stack.layer.num_logical_pages
+        self._spp = stack.sectors_per_page
+        self._logical_pages = stack.num_logical_pages
 
     # ------------------------------------------------------------------
     def _page_span(self, request: Request) -> range:
@@ -171,34 +204,47 @@ class Simulator:
         return range(first, last + 1)
 
     def apply(self, request: Request) -> None:
-        """Apply one request to the stack and advance the clock."""
-        layer = self.stack.layer
+        """Apply one request to the backend and advance the clock.
+
+        The page span is materialized once and handed to the backend as a
+        batch; a device array groups it per shard (the batched dispatcher)
+        while a single stack applies it page by page in order, making the
+        two bit-identical at one channel.
+        """
+        backend = self.stack
         self.clock = max(self.clock, request.time)
         is_write = request.is_write()
         if not is_write and self.skip_reads:
             self.pages_read += len(self._page_span(request))
         else:
-            for lpn in self._page_span(request):
-                if self.lba_modulo:
-                    lpn %= self._logical_pages
+            lpns: list[int] | range = self._page_span(request)
+            if self.lba_modulo:
+                lpns = [lpn % self._logical_pages for lpn in lpns]
+            try:
                 if is_write:
-                    layer.write(lpn)
-                    self.pages_written += 1
+                    self.pages_written += backend.write_pages(lpns)
                 else:
-                    layer.read(lpn)
-                    self.pages_read += 1
+                    self.pages_read += backend.read_pages(lpns)
+            except PowerLossError as exc:
+                # Recover the partially applied page count the batch was
+                # carrying when the lights went out (see factory).
+                done = getattr(exc, "pages_done", 0)
+                if is_write:
+                    self.pages_written += done
+                else:
+                    self.pages_read += done
+                raise
         self.requests_done += 1
         if self.clock >= self._next_sample:
             self._take_sample()
         if (
             self.first_failure_clock is None
-            and self.stack.flash.first_failure is not None
+            and backend.first_failure is not None
         ):
             # Runs past the horizon keep simulating (the paper's Table 4
             # does), but the failure instant is pinned here.
             self.first_failure_clock = self.clock
-        if self.stack.leveler is not None:
-            self.stack.leveler.on_request(self.clock)
+        backend.on_request(self.clock)
 
     def run(
         self,
@@ -208,7 +254,7 @@ class Simulator:
         label: str | None = None,
     ) -> SimResult:
         """Replay ``requests`` until a stop criterion fires; summarize."""
-        flash = self.stack.flash
+        backend = self.stack
         check_failure = stop.until_first_failure
         iterator: Iterator[Request] = iter(requests)
         for request in iterator:
@@ -221,14 +267,14 @@ class Simulator:
                 # ends the replay; the partial result is still reported.
                 self.power_lost = True
                 break
-            if check_failure and flash.first_failure is not None:
+            if check_failure and backend.first_failure is not None:
                 break
             if stop.max_requests is not None and self.requests_done >= stop.max_requests:
                 break
         return self.result(label=label)
 
     def _take_sample(self) -> None:
-        distribution = EraseDistribution.from_counts(self.stack.flash.erase_counts)
+        distribution = EraseDistribution.from_counts(self.stack.erase_counts)
         self.timeline.append(
             WearSample(
                 time=self.clock,
@@ -239,33 +285,49 @@ class Simulator:
             )
         )
         assert self.sample_interval is not None
+        if self.max_samples is not None and len(self.timeline) >= self.max_samples:
+            # Decimate: keep every other sample and sample half as often,
+            # holding memory flat over arbitrarily long horizons while
+            # degrading resolution gracefully (oldest data thins first).
+            del self.timeline[1::2]
+            self.sample_interval *= 2
         self._next_sample = self.clock + self.sample_interval
 
     def result(self, *, label: str | None = None) -> SimResult:
-        """Snapshot the current state as a :class:`SimResult`."""
-        stack = self.stack
-        flash = stack.flash
-        failure_time = self.first_failure_clock
-        leveler = stack.leveler
+        """Snapshot the current state as a :class:`SimResult`.
+
+        Multi-shard backends additionally report one erase distribution
+        per shard; the aggregate ``erase_distribution`` is their
+        :meth:`~repro.sim.metrics.EraseDistribution.merge`.
+        """
+        backend = self.stack
+        layer_stats = backend.layer_stats()
+        shard_distributions = [
+            EraseDistribution.from_counts(counts)
+            for counts in backend.shard_erase_counts()
+        ]
+        if len(shard_distributions) > 1:
+            erase_distribution = EraseDistribution.merge(shard_distributions)
+        else:
+            erase_distribution = shard_distributions[0]
         return SimResult(
-            label=label or stack.name,
+            label=label or backend.name,
             requests=self.requests_done,
             pages_written=self.pages_written,
             pages_read=self.pages_read,
             sim_time=self.clock,
-            first_failure_time=failure_time,
-            erase_distribution=EraseDistribution.from_counts(flash.erase_counts),
-            total_erases=flash.total_erases(),
-            live_page_copies=stack.layer.stats.live_page_copies,
-            gc_runs=stack.layer.stats.gc_runs,
-            layer_stats=stack.layer.stats.as_dict(),
-            swl_stats=leveler.stats.as_dict() if leveler else {},
-            device_busy_time=stack.mtd.busy_time,
+            first_failure_time=self.first_failure_clock,
+            erase_distribution=erase_distribution,
+            total_erases=backend.total_erases(),
+            live_page_copies=layer_stats.get("live_page_copies", 0),
+            gc_runs=layer_stats.get("gc_runs", 0),
+            layer_stats=layer_stats,
+            swl_stats=backend.swl_stats(),
+            device_busy_time=backend.busy_time,
             timeline=list(self.timeline),
-            fault_stats=(
-                flash.injector.stats.as_dict()
-                if flash.injector is not None
-                else {}
-            ),
+            fault_stats=backend.fault_stats(),
             power_lost=self.power_lost,
+            shard_erase_distributions=(
+                shard_distributions if len(shard_distributions) > 1 else []
+            ),
         )

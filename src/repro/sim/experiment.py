@@ -19,12 +19,13 @@ Scaled geometries keep all structural parameters of the paper's setup
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.core.config import SWLConfig
 from repro.flash.geometry import CellType, FlashGeometry
 from repro.ftl.base import DEFAULT_OP_RATIO
-from repro.ftl.factory import StorageStack, build_stack
+from repro.ftl.factory import StorageBackend, build_backend
 from repro.sim.engine import Simulator, SimResult, StopCondition
 from repro.traces.extend import SegmentResampler
 from repro.traces.generator import MobilePCWorkload, WorkloadParams
@@ -87,11 +88,17 @@ def scaled_threshold(paper_threshold: float, *, scale: int = DEFAULT_ENDURANCE_S
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One storage-stack configuration to evaluate.
+    """One storage-backend configuration to evaluate.
 
     ``seed`` controls the resampling and leveler randomness only; the base
     trace is shared across specs so all systems see identical requests,
     as in the paper's "fair comparisons" setup.
+
+    ``channels=1`` (default) builds the classic single-chip stack —
+    bit-identical to the pre-array code path.  ``channels > 1`` builds a
+    :class:`~repro.array.DeviceArray` of that many shards, each a full
+    copy of ``geometry``, striped per ``striping`` and coordinated per
+    ``swl_scope``.
     """
 
     driver: str
@@ -100,18 +107,27 @@ class ExperimentSpec:
     op_ratio: float = DEFAULT_OP_RATIO
     alloc_policy: str = "lifo"
     seed: int = 0
+    channels: int = 1
+    striping: str = "page"
+    swl_scope: str = "per-shard"
 
     def label(self) -> str:
-        if self.swl is None or not self.swl.enabled:
-            return self.driver.upper()
-        return f"{self.driver.upper()}+{self.swl.label()}"
+        base = self.driver.upper()
+        if self.swl is not None and self.swl.enabled:
+            base = f"{base}+{self.swl.label()}"
+        if self.channels > 1:
+            base = f"{base}x{self.channels}[{self.striping},{self.swl_scope}]"
+        return base
 
-    def build(self) -> StorageStack:
+    def build(self) -> StorageBackend:
         rng = make_rng(self.seed)
-        return build_stack(
+        return build_backend(
             self.geometry,
             self.driver,
             self.swl,
+            channels=self.channels,
+            striping=self.striping,
+            swl_scope=self.swl_scope,
             op_ratio=self.op_ratio,
             alloc_policy=self.alloc_policy,
             rng=spawn_rng(rng, "leveler"),
@@ -119,9 +135,9 @@ class ExperimentSpec:
 
 
 def logical_sectors_of(spec: ExperimentSpec) -> int:
-    """Sector count of the logical space a spec's stack will export."""
-    stack = spec.build()
-    return stack.layer.num_logical_pages * stack.mtd.geometry.sectors_per_page
+    """Sector count of the logical space a spec's backend will export."""
+    backend = spec.build()
+    return backend.num_logical_pages * backend.sectors_per_page
 
 
 def workload_params_for(
@@ -223,6 +239,22 @@ def run_fixed_horizon(
     return simulator.run(endless.iter_requests(), stop, label=spec.label())
 
 
+def _run_matrix_entry(
+    payload: tuple[
+        ExperimentSpec, list[Request], float | None, list[Request] | None, int
+    ],
+) -> SimResult:
+    """One matrix cell, self-contained for process-pool pickling."""
+    spec, base_trace, horizon, warmup, request_cap = payload
+    if horizon is None:
+        return run_until_first_failure(
+            spec, base_trace, warmup=warmup, request_cap=request_cap
+        )
+    return run_fixed_horizon(
+        spec, base_trace, horizon, warmup=warmup, request_cap=request_cap
+    )
+
+
 def run_matrix(
     specs: list[ExperimentSpec],
     base_trace: list[Request],
@@ -230,24 +262,23 @@ def run_matrix(
     horizon: float | None = None,
     warmup: list[Request] | None = None,
     request_cap: int = DEFAULT_REQUEST_CAP,
+    workers: int | None = None,
 ) -> list[SimResult]:
     """Run many specs over one shared base trace.
 
     ``horizon=None`` selects first-failure mode; otherwise fixed-horizon.
+
+    ``workers`` fans the matrix out over that many worker processes (one
+    config per task).  Each cell is already fully deterministic — every
+    stochastic stream is derived from the spec's own seed, never from
+    shared state — so parallel results are identical to serial ones, in
+    the same order; only the wall-clock changes.  ``None`` or ``1`` runs
+    serially in-process.
     """
-    results = []
-    for spec in specs:
-        if horizon is None:
-            results.append(
-                run_until_first_failure(
-                    spec, base_trace, warmup=warmup, request_cap=request_cap
-                )
-            )
-        else:
-            results.append(
-                run_fixed_horizon(
-                    spec, base_trace, horizon,
-                    warmup=warmup, request_cap=request_cap,
-                )
-            )
-    return results
+    payloads = [
+        (spec, base_trace, horizon, warmup, request_cap) for spec in specs
+    ]
+    if workers is None or workers <= 1 or len(specs) <= 1:
+        return [_run_matrix_entry(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+        return list(pool.map(_run_matrix_entry, payloads))

@@ -19,13 +19,18 @@ SECONDS_PER_YEAR = 365.0 * 86_400.0
 
 @dataclass(frozen=True)
 class EraseDistribution:
-    """Summary of per-block erase counts (the columns of paper Table 4)."""
+    """Summary of per-block erase counts (the columns of paper Table 4).
+
+    ``blocks`` records how many blocks the summary covers; it is what
+    makes :meth:`merge` exact (0 on legacy instances built field-by-field).
+    """
 
     average: float
     deviation: float
     maximum: int
     minimum: int
     total: int
+    blocks: int = 0
 
     @classmethod
     def from_counts(cls, counts: Sequence[int]) -> "EraseDistribution":
@@ -40,6 +45,41 @@ class EraseDistribution:
             maximum=max(counts),
             minimum=min(counts),
             total=total,
+            blocks=len(counts),
+        )
+
+    @classmethod
+    def merge(cls, parts: Sequence["EraseDistribution"]) -> "EraseDistribution":
+        """Combine per-shard distributions into the array-wide one.
+
+        Exact (not an approximation): the pooled variance is recovered
+        from each part's deviation, mean, and block count via
+        ``E[x^2] = dev^2 + avg^2``, so merging the shards of a device
+        array equals computing :meth:`from_counts` over the concatenated
+        counts, up to floating-point rounding.
+        """
+        if not parts:
+            raise ValueError("no distributions to merge")
+        if any(part.blocks <= 0 for part in parts):
+            raise ValueError(
+                "merge requires block counts; all parts must come from "
+                "from_counts()"
+            )
+        blocks = sum(part.blocks for part in parts)
+        total = sum(part.total for part in parts)
+        average = total / blocks
+        second_moment = sum(
+            part.blocks * (part.deviation ** 2 + part.average ** 2)
+            for part in parts
+        )
+        variance = max(0.0, second_moment / blocks - average ** 2)
+        return cls(
+            average=average,
+            deviation=math.sqrt(variance),
+            maximum=max(part.maximum for part in parts),
+            minimum=min(part.minimum for part in parts),
+            total=total,
+            blocks=blocks,
         )
 
     def row(self) -> list[float | int]:

@@ -95,6 +95,8 @@ def markdown_report(
             ["garbage collections", result.gc_runs],
             ["device busy time", f"{result.device_busy_time:.1f} s"],
         ]
+        if result.channels > 1:
+            detail_rows.append(["channels", result.channels])
         for key, value in sorted(result.swl_stats.items()):
             if key == "findex_history":
                 continue
@@ -104,6 +106,34 @@ def markdown_report(
         for key, value in sorted(result.fault_stats.items()):
             detail_rows.append([f"fault {key.replace('_', ' ')}", value])
         sections.append(_markdown_table(["Metric", "Value"], detail_rows))
+        if result.shard_erase_distributions:
+            shard_rows: list[list[object]] = [
+                [f"shard {index}",
+                 f"{dist.average:.0f}",
+                 f"{dist.deviation:.0f}",
+                 dist.maximum,
+                 dist.minimum,
+                 dist.total]
+                for index, dist in enumerate(result.shard_erase_distributions)
+            ]
+            merged = result.erase_distribution
+            shard_rows.append(
+                ["merged",
+                 f"{merged.average:.0f}",
+                 f"{merged.deviation:.0f}",
+                 merged.maximum,
+                 merged.minimum,
+                 merged.total]
+            )
+            sections += [
+                "",
+                "Per-shard erase distributions:",
+                "",
+                _markdown_table(
+                    ["Shard", "Avg", "Dev", "Max", "Min", "Total"],
+                    shard_rows,
+                ),
+            ]
         if result.timeline:
             deviations = [sample.deviation for sample in result.timeline]
             maxima = [sample.maximum for sample in result.timeline]

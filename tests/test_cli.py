@@ -66,6 +66,32 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "SWL" not in out
 
+    def test_multi_channel_reports_per_shard(self, capsys):
+        code = main([
+            "simulate", "--blocks", "24", "--scale", "100", "--driver", "ftl",
+            "--channels", "2", "--striping", "page", "--swl-scope", "global",
+            "--days", "0.1", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "x2[page,global]" in out
+        assert "Per-shard erase distributions (2 channels)" in out
+        assert "shard 0" in out and "shard 1" in out
+        assert "merged" in out
+
+    def test_bad_striping_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--channels", "2", "--striping", "diagonal"])
+
+
+class TestFaultsCommand:
+    def test_multi_channel_rejected(self, capsys):
+        code = main([
+            "faults", "--blocks", "24", "--scale", "100", "--channels", "2",
+        ])
+        assert code == 2
+        assert "--channels must be 1" in capsys.readouterr().err
+
 
 class TestSweep:
     def test_sweep_table(self, capsys):

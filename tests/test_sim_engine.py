@@ -68,6 +68,34 @@ class TestSimulatorBasics:
         simulator.apply(write(0.0, big_lba))  # must not raise
         assert simulator.pages_written == 1
 
+    def test_lba_modulo_wraps_multi_page_span(self, small_geometry):
+        # A request that starts on the last logical page and spans past the
+        # end of the logical space must wrap per-page back to page 0.
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        spp = small_geometry.sectors_per_page
+        last_page = stack.layer.num_logical_pages - 1
+        simulator.apply(write(0.0, last_page * spp, sectors=3 * spp))
+        assert simulator.pages_written == 3
+        assert stack.layer.stats.host_writes == 3
+        # The wrapped tail landed on pages 0 and 1 — reading them must
+        # hit mapped pages (media reads, not unmapped misses).
+        reads_before = stack.flash.counters.reads
+        stack.layer.read(0)
+        stack.layer.read(1)
+        assert stack.flash.counters.reads == reads_before + 2
+
+    def test_lba_strict_rejects_wrapping_span(self, small_geometry):
+        from repro.flash.errors import TranslationError
+
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack, lba_modulo=False)
+        spp = small_geometry.sectors_per_page
+        last_page = stack.layer.num_logical_pages - 1
+        with pytest.raises(TranslationError):
+            simulator.apply(write(0.0, last_page * spp, sectors=3 * spp))
+        assert simulator.pages_written == 0
+
     def test_lba_strict_raises(self, small_geometry):
         from repro.flash.errors import TranslationError
 
@@ -143,6 +171,55 @@ class TestRun:
         assert data["requests"] == 1
         assert data["erase_max"] == 0
 
+    def test_result_as_dict_busy_time_and_layer_stats(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack)
+        trace = [write(float(i), i % 16) for i in range(200)]
+        result = simulator.run(trace, StopCondition(max_requests=200))
+        data = result.as_dict()
+        assert data["device_busy_time"] == result.device_busy_time
+        assert result.device_busy_time > 0.0
+        assert data["channels"] == 1
+        # Every layer counter is exported with a layer_ prefix.
+        for key, value in result.layer_stats.items():
+            assert data[f"layer_{key}"] == value
+        assert data["layer_host_writes"] == 200
+
+
+class TestTimelineBound:
+    def test_decimation_keeps_timeline_bounded(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack, sample_interval=1.0, max_samples=4)
+        for i in range(64):
+            simulator.apply(write(float(i), i % 8))
+            assert len(simulator.timeline) <= 4
+        # Decimation fired: the interval doubled at least once and the
+        # surviving samples still span the whole run.
+        assert simulator.sample_interval > 1.0
+        assert simulator.timeline[0].time < simulator.timeline[-1].time
+
+    def test_decimation_doubles_interval_each_time(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack, sample_interval=1.0, max_samples=4)
+        for i in range(64):
+            simulator.apply(write(float(i), i % 8))
+        # 64 seconds of 1 Hz sampling under a 4-sample cap needs the
+        # interval to have doubled repeatedly: 1 -> 2 -> 4 -> ...
+        assert simulator.sample_interval in {8.0, 16.0, 32.0}
+
+    def test_no_cap_grows_freely(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        simulator = Simulator(stack, sample_interval=1.0, max_samples=None)
+        for i in range(32):
+            simulator.apply(write(float(i), i % 8))
+        assert len(simulator.timeline) == 32
+        assert simulator.sample_interval == 1.0
+
+    def test_max_samples_validation(self, small_geometry):
+        stack = build_stack(small_geometry, "ftl")
+        with pytest.raises(ValueError, match="max_samples"):
+            Simulator(stack, sample_interval=1.0, max_samples=1)
+
 
 class TestMetrics:
     def test_erase_distribution(self):
@@ -157,6 +234,30 @@ class TestMetrics:
     def test_erase_distribution_empty(self):
         with pytest.raises(ValueError):
             EraseDistribution.from_counts([])
+
+    def test_erase_distribution_merge_is_exact(self):
+        parts = [[0, 10, 20], [5, 5], [100, 3, 7, 9]]
+        merged = EraseDistribution.merge(
+            [EraseDistribution.from_counts(counts) for counts in parts]
+        )
+        flat = EraseDistribution.from_counts(
+            [count for counts in parts for count in counts]
+        )
+        assert merged.total == flat.total
+        assert merged.maximum == flat.maximum
+        assert merged.minimum == flat.minimum
+        assert merged.blocks == flat.blocks == 9
+        assert merged.average == pytest.approx(flat.average)
+        assert merged.deviation == pytest.approx(flat.deviation)
+
+    def test_erase_distribution_merge_validation(self):
+        with pytest.raises(ValueError):
+            EraseDistribution.merge([])
+        legacy = EraseDistribution(
+            average=1.0, deviation=0.0, maximum=1, minimum=1, total=2
+        )
+        with pytest.raises(ValueError, match="block count"):
+            EraseDistribution.merge([legacy])
 
     def test_first_failure_years(self):
         assert first_failure_years(None) is None
