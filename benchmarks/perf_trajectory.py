@@ -1,6 +1,6 @@
 """Per-PR performance trajectory point: ``make bench-quick`` artifact.
 
-Measures three things quickly (~a minute) and writes them to
+Measures four things quickly (~a minute) and writes them to
 ``BENCH_PR.json`` at the repository root, so successive PRs leave a
 comparable breadcrumb trail:
 
@@ -14,7 +14,11 @@ comparable breadcrumb trail:
 * **run_matrix parallelism** — wall-clock of a 4-spec sweep serial vs
   ``workers=4`` plus a result-equality check.  Speedup depends on the
   host's core count (recorded alongside); on a single-core runner the
-  process pool cannot win and the point documents that honestly.
+  process pool cannot win and the point documents that honestly;
+* **telemetry overhead** — replay req/s with telemetry off vs on
+  (metrics collector attached, no file exporters), guarding the
+  :mod:`repro.obs` off-path contract: the *off* point must track the
+  plain throughput numbers PR over PR.
 
 Usage::
 
@@ -33,6 +37,7 @@ from pathlib import Path
 
 from repro.analysis.overhead import TABLE2_CONFIGS
 from repro.core.config import SWLConfig
+from repro.obs.telemetry import Telemetry
 from repro.sim.experiment import (
     ExperimentSpec,
     make_workload,
@@ -157,6 +162,47 @@ def measure_run_matrix_parallel() -> dict[str, object]:
     }
 
 
+def measure_telemetry_overhead() -> dict[str, object]:
+    """Replay req/s telemetry-off vs telemetry-on, same trace and spec.
+
+    The "on" configuration attaches the full event bus with the metrics
+    collector and heatmap sampling — the in-memory telemetry a user gets
+    from ``--telemetry`` — but no file exporters, so the number isolates
+    instrumentation cost from disk throughput.
+    """
+    geometry = scaled_mlc2_geometry(BLOCKS, scale=SCALE)
+    spec = ExperimentSpec("ftl", geometry, SWLConfig(threshold=100, k=0),
+                          seed=SEED)
+    trace, warmup = _shared_trace(spec)
+
+    start = time.perf_counter()
+    off = run_fixed_horizon(spec, trace, HORIZON, warmup=warmup)
+    off_s = time.perf_counter() - start
+
+    telemetry = Telemetry(heatmap_interval=HORIZON / 16)
+    start = time.perf_counter()
+    on = run_fixed_horizon(spec, trace, HORIZON, warmup=warmup,
+                           telemetry=telemetry)
+    on_s = time.perf_counter() - start
+
+    off_dict, on_dict = off.as_dict(), on.as_dict()
+    on_dict.pop("heatmap_snapshots", None)
+    return {
+        "requests": off.requests,
+        "off_wall_s": round(off_s, 3),
+        "on_wall_s": round(on_s, 3),
+        "off_requests_per_s": round(off.requests / off_s, 1),
+        "on_requests_per_s": round(on.requests / on_s, 1),
+        "overhead_pct": round(100.0 * (on_s - off_s) / off_s, 2),
+        "results_identical_minus_telemetry": off_dict == on_dict,
+        "events_collected": int(
+            telemetry.snapshot()
+            .counters["repro_flash_erases_total"].value
+        ),
+        "heatmaps": len(on.heatmaps),
+    }
+
+
 def main(argv: list[str]) -> int:
     output = Path(argv[1]) if len(argv) > 1 else (
         Path(__file__).resolve().parent.parent / "BENCH_PR.json"
@@ -171,6 +217,7 @@ def main(argv: list[str]) -> int:
         "throughput": measure_throughput(),
         "table2_extra_erases": measure_table2_deltas(),
         "run_matrix_parallel": measure_run_matrix_parallel(),
+        "telemetry": measure_telemetry_overhead(),
     }
     output.write_text(json.dumps(point, indent=2) + "\n")
     print(f"wrote {output}")
@@ -184,6 +231,11 @@ def main(argv: list[str]) -> int:
           f"serial, {matrix['workers4_wall_s']}s with workers=4 "
           f"(speedup {matrix['speedup']}x on {matrix['cpu_count']} CPUs, "
           f"identical={matrix['results_identical']})")
+    telemetry = point["telemetry"]
+    print(f"  telemetry: {telemetry['off_requests_per_s']} req/s off, "
+          f"{telemetry['on_requests_per_s']} req/s on "
+          f"({telemetry['overhead_pct']:+.2f}%, "
+          f"identical={telemetry['results_identical_minus_telemetry']})")
     return 0
 
 

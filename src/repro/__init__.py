@@ -16,7 +16,9 @@ The package layers exactly like the paper's Figure 1:
 * :mod:`repro.traces` — the synthetic mobile-PC workload and the
   10-minute segment resampler of Section 5.1;
 * :mod:`repro.sim` — the trace-replay engine and experiment protocols;
-* :mod:`repro.analysis` — the analytic models of Section 4.
+* :mod:`repro.analysis` — the analytic models of Section 4;
+* :mod:`repro.obs` — the telemetry subsystem: typed event tracing,
+  metrics, wear heatmaps, and exporters (off by default, zero-cost).
 
 Quickstart
 ----------
@@ -61,6 +63,15 @@ from repro.flash import (
     slc_small_block,
 )
 from repro.fs import FatFileSystem
+from repro.obs import (
+    EventBus,
+    MetricsCollector,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Telemetry,
+    WearHeatmap,
+    render_prometheus,
+)
 from repro.ftl import (
     NFTL,
     BlockDevice,
@@ -95,6 +106,7 @@ __all__ = [
     "CrashConsistencyHarness",
     "DeviceArray",
     "DualPoolLeveler",
+    "EventBus",
     "ExperimentSpec",
     "FatFileSystem",
     "FaultCampaignResult",
@@ -104,6 +116,9 @@ __all__ = [
     "MLC2_1GB",
     "MLC2_BENCH",
     "MLC2_TINY",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "MobilePCWorkload",
     "MtdDevice",
     "NFTL",
@@ -120,8 +135,10 @@ __all__ = [
     "StorageBackend",
     "StorageStack",
     "StripingPolicy",
+    "Telemetry",
     "TranslationLayer",
     "WearCoordinator",
+    "WearHeatmap",
     "WearSample",
     "WorkloadParams",
     "build_array",
@@ -132,6 +149,7 @@ __all__ = [
     "markdown_report",
     "mlc2",
     "paper_sweep",
+    "render_prometheus",
     "run_fault_campaign",
     "run_fixed_horizon",
     "run_matrix",

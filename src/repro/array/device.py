@@ -41,6 +41,7 @@ from repro.util.rng import make_rng, spawn_rng
 if TYPE_CHECKING:
     from repro.fault.plan import FaultPlan
     from repro.flash.geometry import FlashGeometry
+    from repro.obs.bus import BusLike
 
 
 class DeviceArray:
@@ -220,6 +221,7 @@ def build_array(
     store_data: bool = False,
     rng: random.Random | None = None,
     fault_plan: "FaultPlan | None" = None,
+    bus: "BusLike | None" = None,
 ) -> DeviceArray:
     """Assemble a :class:`DeviceArray` of ``channels`` identical shards.
 
@@ -229,7 +231,9 @@ def build_array(
     (``shard0``, ``shard1``, ...), and ``fault_plan`` — when given —
     yields one :class:`~repro.fault.injector.FaultInjector` per shard
     with a per-shard derived seed, so no two channels replay the same
-    fault sequence.
+    fault sequence.  ``bus`` telemetry is fanned out as shard-tagged
+    views: every shard emits on the same bus under its own shard id and
+    its own busy-time clock, so merged metrics compose exactly.
     """
     if channels <= 0:
         raise ValueError(f"channels must be positive, got {channels}")
@@ -241,6 +245,8 @@ def build_array(
             from repro.fault.injector import FaultInjector
 
             injector = FaultInjector(fault_plan.for_shard(index))
+        # Each shard emits on a shard-tagged view of the bus; build_stack
+        # wires the view's clock to that shard's own mtd.busy_time.
         shards.append(
             build_stack(
                 geometry,
@@ -253,6 +259,7 @@ def build_array(
                 store_data=store_data,
                 rng=spawn_rng(base, f"shard{index}"),
                 injector=injector,
+                bus=bus.for_shard(index) if bus else None,
             )
         )
     coordinator = None

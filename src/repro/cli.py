@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's main workflows without writing code:
+Five commands cover the library's main workflows without writing code:
 
 ``generate-trace``
     Synthesize a mobile-PC trace (Section 5.1 statistics) to a file.
@@ -14,22 +14,32 @@ Four commands cover the library's main workflows without writing code:
     Run a fault-injection campaign (transient-fault soak plus a swept
     power-loss crash-consistency check) and report the verdict; exits
     non-zero on any invariant violation.
+``trace``
+    Replay with telemetry enabled and export the full artifact set —
+    JSONL event trace, Chrome/Perfetto ``trace_event`` JSON, Prometheus
+    metrics text, and wear heatmaps (see :mod:`repro.obs`).
 
-Every command accepts ``--seed`` and is fully deterministic.
+Every command accepts ``--seed`` and is fully deterministic.  The global
+``--log-level`` / ``--log-channel`` options (before the command name)
+enable the library's diagnostics logging channels.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from dataclasses import replace
+from pathlib import Path
 
 from repro.core.config import SWLConfig
 from repro.fault.campaign import run_fault_campaign
 from repro.fault.plan import FaultPlan
+from repro.obs.telemetry import DEFAULT_HEATMAP_BINS, Telemetry
 from repro.sim.experiment import (
     ExperimentSpec,
     make_workload,
+    run_fixed_horizon,
     run_until_first_failure,
     scaled_mlc2_geometry,
     workload_params_for,
@@ -39,6 +49,7 @@ from repro.sim.reporting import fault_campaign_report, save_report
 from repro.traces.generator import DAY, WorkloadParams
 from repro.traces.io import load_trace, save_trace
 from repro.traces.stats import summarize
+from repro.util.diagnostics import configure_logging
 from repro.util.tables import format_table
 
 
@@ -71,11 +82,27 @@ def _add_stack_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master seed")
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", action="store_true",
+                        help="attach the telemetry event bus (in-memory "
+                             "metrics; no files unless --trace-out)")
+    parser.add_argument("--trace-out", metavar="DIR", default=None,
+                        help="write trace.jsonl, trace.chrome.json, and "
+                             "metrics.prom into DIR (implies --telemetry)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Static wear leveling for flash storage (DAC 2007 reproduction)",
     )
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        help="enable diagnostics logging at LEVEL "
+                             "(DEBUG, INFO, WARNING, ...)")
+    parser.add_argument("--log-channel", action="append", metavar="NAME",
+                        help="restrict logging to a channel (repeatable; "
+                             "e.g. leveler, fault, obs); default: every "
+                             "repro.* channel")
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -95,6 +122,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--days", type=float, default=1.0,
                           help="generated-trace duration in days (default: 1)")
     _add_stack_arguments(simulate)
+    _add_telemetry_arguments(simulate)
 
     sweep = commands.add_parser(
         "sweep", help="run the paper's k x T first-failure sweep (Figure 5)"
@@ -106,6 +134,31 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--report", metavar="PATH",
                        help="also write a markdown report to PATH")
     _add_stack_arguments(sweep)
+    _add_telemetry_arguments(sweep)
+
+    trace = commands.add_parser(
+        "trace",
+        help="replay with telemetry on and export the trace artifact set",
+    )
+    trace.add_argument("output",
+                       help="output directory for trace.jsonl, "
+                            "trace.chrome.json, and metrics.prom")
+    trace.add_argument("--hours", type=float, default=2.0,
+                       help="simulated replay horizon in hours (default: 2)")
+    trace.add_argument("--days", type=float, default=0.25,
+                       help="generated base-trace duration in days "
+                            "(default: 0.25)")
+    trace.add_argument("--heatmap-bins", type=int,
+                       default=DEFAULT_HEATMAP_BINS,
+                       help="wear-heatmap grid width in cells "
+                            f"(default: {DEFAULT_HEATMAP_BINS})")
+    trace.add_argument("--heatmap-interval", type=float, default=None,
+                       help="simulated seconds between wear heatmaps "
+                            "(default: horizon/16)")
+    trace.add_argument("--log-events", action="store_true",
+                       help="also mirror events onto the repro.* log "
+                            "channels")
+    _add_stack_arguments(trace)
 
     faults = commands.add_parser(
         "faults", help="run a fault-injection and crash-consistency campaign"
@@ -159,6 +212,51 @@ def _spec(args: argparse.Namespace) -> ExperimentSpec:
     )
 
 
+def _slugify(label: str) -> str:
+    """A label as a safe directory name (``NFTL+SWL(T=100,k=0)`` etc.)."""
+    return re.sub(r"[^A-Za-z0-9._+=-]+", "_", label)
+
+
+def _make_telemetry(
+    args: argparse.Namespace, run_name: str, directory: str | None = None
+) -> Telemetry | None:
+    """Telemetry per the command's ``--telemetry``/``--trace-out`` flags.
+
+    Heatmaps default to one per simulated day — first-failure horizons
+    are open-ended, and the engine's decimation bounds the series.
+    """
+    if not (args.telemetry or args.trace_out):
+        return None
+    if directory is None:
+        directory = args.trace_out
+    if directory is not None:
+        return Telemetry.to_directory(
+            directory, run_name=run_name, heatmap_interval=DAY
+        )
+    return Telemetry(run_name=run_name, heatmap_interval=DAY)
+
+
+def _print_telemetry_summary(
+    telemetry: Telemetry, heatmaps: int
+) -> None:
+    files = telemetry.finish()
+    snapshot = telemetry.snapshot()
+    rows: list[list[object]] = [
+        ["metrics collected",
+         len(snapshot.counters) + len(snapshot.gauges)
+         + len(snapshot.histograms)],
+        ["wear heatmaps", heatmaps],
+    ]
+    if telemetry.jsonl is not None:
+        rows.append(["events traced", telemetry.jsonl.records_written])
+    for kind, path in files.items():
+        rows.append([f"{kind} file", str(path)])
+    print()
+    print(format_table(["telemetry", "value"], rows, title="Telemetry"))
+    if "chrome" in files:
+        print(f"  open {files['chrome']} in Perfetto (https://ui.perfetto.dev)")
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     spec = _spec(args)
     if args.trace:
@@ -171,7 +269,10 @@ def _command_simulate(args: argparse.Namespace) -> int:
         workload = make_workload(params)
         trace = workload.requests()
         warmup = workload.prefill_requests()
-    result = run_until_first_failure(spec, trace, warmup=warmup)
+    telemetry = _make_telemetry(args, spec.label())
+    result = run_until_first_failure(
+        spec, trace, warmup=warmup, telemetry=telemetry
+    )
     distribution = result.erase_distribution
     rows: list[list[object]] = [
         ["configuration", result.label],
@@ -201,6 +302,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
             shard_rows,
             title=f"Per-shard erase distributions ({result.channels} channels)",
         ))
+    if telemetry is not None:
+        _print_telemetry_summary(telemetry, len(result.heatmaps))
     return 0
 
 
@@ -210,8 +313,26 @@ def _command_sweep(args: argparse.Namespace) -> int:
     workload = make_workload(params)
     trace = workload.requests()
     warmup = workload.prefill_requests()
+    def cell_telemetry(label: str) -> Telemetry | None:
+        # One artifact directory per sweep cell; a bare --telemetry has
+        # nowhere to put a whole sweep's traces, so it needs --trace-out.
+        if not args.trace_out:
+            return None
+        return _make_telemetry(
+            args, label, directory=str(Path(args.trace_out) / _slugify(label))
+        )
+
+    if args.telemetry and not args.trace_out:
+        print("sweep telemetry needs --trace-out DIR (one artifact set "
+              "per configuration); continuing without telemetry",
+              file=sys.stderr)
     baseline_spec = replace(spec, swl=None)
-    baseline = run_until_first_failure(baseline_spec, trace, warmup=warmup)
+    baseline_telemetry = cell_telemetry(baseline_spec.label())
+    baseline = run_until_first_failure(
+        baseline_spec, trace, warmup=warmup, telemetry=baseline_telemetry
+    )
+    if baseline_telemetry is not None:
+        baseline_telemetry.finish()
     results = [baseline]
     rows: list[list[object]] = [
         [baseline.label, round(baseline.first_failure_time / DAY, 3), "-"]
@@ -219,7 +340,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     for threshold in args.thresholds:
         for k in args.ks:
             point = replace(spec, swl=SWLConfig(threshold=threshold, k=k))
-            result = run_until_first_failure(point, trace, warmup=warmup)
+            telemetry = cell_telemetry(point.label())
+            result = run_until_first_failure(
+                point, trace, warmup=warmup, telemetry=telemetry
+            )
+            if telemetry is not None:
+                telemetry.finish()
             results.append(result)
             gain = improvement_ratio(
                 result.first_failure_time, baseline.first_failure_time
@@ -240,6 +366,45 @@ def _command_sweep(args: argparse.Namespace) -> int:
             title=f"{args.driver.upper()} first-failure sweep",
         )
         print(f"\nmarkdown report written to {args.report}")
+    if args.trace_out:
+        print(f"telemetry artifacts written under {args.trace_out}/")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    params = workload_params_for(
+        spec, duration=args.days * DAY, seed=args.seed + 1
+    )
+    workload = make_workload(params)
+    trace = workload.requests()
+    warmup = workload.prefill_requests()
+    horizon = args.hours * 3600.0
+    telemetry = Telemetry.to_directory(
+        args.output,
+        run_name=spec.label(),
+        log_events=args.log_events,
+        heatmap_bins=args.heatmap_bins,
+        heatmap_interval=args.heatmap_interval or horizon / 16,
+    )
+    result = run_fixed_horizon(
+        spec, trace, horizon, warmup=warmup, telemetry=telemetry
+    )
+    distribution = result.erase_distribution
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["configuration", result.label],
+            ["simulated hours", round(result.sim_time / 3600.0, 2)],
+            ["requests replayed", result.requests],
+            ["total block erases", result.total_erases],
+            ["erase avg / dev / max",
+             f"{distribution.average:.0f} / {distribution.deviation:.0f} / "
+             f"{distribution.maximum}"],
+        ],
+        title="Traced replay",
+    ))
+    _print_telemetry_summary(telemetry, len(result.heatmaps))
     return 0
 
 
@@ -302,11 +467,14 @@ def _command_faults(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.log_level:
+        configure_logging(args.log_level, channels=args.log_channel)
     handlers = {
         "generate-trace": _command_generate,
         "simulate": _command_simulate,
         "sweep": _command_sweep,
         "faults": _command_faults,
+        "trace": _command_trace,
     }
     return handlers[args.command](args)
 

@@ -33,11 +33,14 @@ from repro.core.policies import (
     SequentialSelection,
     TriggerPolicy,
 )
+from repro.obs.events import BetReset as BetResetEvent
+from repro.obs.events import SwlInvoke as SwlInvokeEvent
 from repro.util.diagnostics import leveler_log
 from repro.util.rng import make_rng
 
 if TYPE_CHECKING:
     from repro.array.coordinator import WearCoordinator
+    from repro.obs.bus import BusLike
 
 
 class WearLevelingHost(Protocol):
@@ -151,6 +154,14 @@ class SWLeveler:
         #: WearCoordinator` installs itself here to arbitrate SWL-Procedure
         #: across channel shards instead.
         self.coordinator: "WearCoordinator | None" = None
+        self._obs: "BusLike | None" = None
+        #: ``ecnt`` when a trigger was first deferred by suspension; the
+        #: gap to the eventual run is the SWL trigger latency in erases.
+        self._deferred_at_ecnt: int | None = None
+
+    def attach_bus(self, bus: "BusLike | None") -> None:
+        """Emit ``SwlInvoke``/``BetReset`` telemetry on ``bus``."""
+        self._obs = bus if bus else None
 
     # ------------------------------------------------------------------
     # Host-facing notifications
@@ -169,9 +180,15 @@ class SWLeveler:
             erases=self.bet.ecnt, requests=self._requests_seen, now=self._now
         ):
             if self._suspended:
-                self._deferred_check = True
+                self._note_deferred()
             else:
                 self._dispatch_trigger()
+
+    def _note_deferred(self) -> None:
+        """Remember a trigger deferred by suspension (and when it fired)."""
+        self._deferred_check = True
+        if self._deferred_at_ecnt is None:
+            self._deferred_at_ecnt = self.bet.ecnt
 
     def _dispatch_trigger(self) -> None:
         """Route a fired trigger: locally, or via the array coordinator."""
@@ -240,7 +257,7 @@ class SWLeveler:
                 erases=self.bet.ecnt, requests=self._requests_seen, now=self._now
             ):
                 if self._suspended:
-                    self._deferred_check = True
+                    self._note_deferred()
                 else:
                     self._dispatch_trigger()
 
@@ -255,8 +272,12 @@ class SWLeveler:
         """
         self.stats.procedure_checks += 1
         if self.bet.fcnt == 0:                       # Alg. 1, step 1
+            self._deferred_at_ecnt = None
             return False
         if self.bet.unevenness() < self.threshold:
+            # A deferred trigger that no longer warrants work resolves
+            # here; the latency clock must not leak into a later run.
+            self._deferred_at_ecnt = None
             return False
         return self.run_procedure()
 
@@ -270,6 +291,13 @@ class SWLeveler:
             return False
         self._in_procedure = True
         did_work = False
+        entry_unevenness = self.bet.unevenness()
+        entry_ecnt = self.bet.ecnt
+        entry_fcnt = self.bet.fcnt
+        entry_findex = self.findex
+        latency = (entry_ecnt - self._deferred_at_ecnt
+                   if self._deferred_at_ecnt is not None else 0)
+        self._deferred_at_ecnt = None
         try:
             while self.bet.unevenness() >= self.threshold:      # step 2
                 if self.bet.all_flags_set():                    # step 3
@@ -290,6 +318,10 @@ class SWLeveler:
             self._in_procedure = False
             if did_work:
                 self.stats.procedure_runs += 1
+                if self._obs is not None:
+                    self._obs.emit(SwlInvokeEvent(
+                        entry_findex, entry_unevenness, entry_ecnt,
+                        entry_fcnt, latency))
         return did_work
 
     def _reset_interval(self) -> None:
@@ -307,6 +339,8 @@ class SWLeveler:
             "BET reset #%d (findex -> %d, %d retired sets re-flagged)",
             self.bet.resets, self.findex, len(self._retired_flags),
         )
+        if self._obs is not None:
+            self._obs.emit(BetResetEvent(self.bet.resets, self.findex))
 
     def _erase_block_set(self, findex: int) -> None:
         """Step 11: request garbage collection over the selected block set.

@@ -17,7 +17,8 @@ is what makes fault campaigns CI-able.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.flash.errors import (
     PowerLossError,
@@ -26,8 +27,13 @@ from repro.flash.errors import (
     UncorrectableReadError,
 )
 from repro.fault.plan import FaultPlan
+from repro.obs.events import FaultInjected
+from repro.obs.events import PowerLoss as PowerLossEvent
 from repro.util.diagnostics import fault_log
 from repro.util.rng import make_rng
+
+if TYPE_CHECKING:
+    from repro.obs.bus import BusLike
 
 
 @dataclass
@@ -88,6 +94,11 @@ class FaultInjector:
         self.bad_program_blocks: set[int] = set()
         self._loss_schedule = list(plan.power_loss_at)  # ascending
         self._loss_cursor = 0
+        self._obs: "BusLike | None" = None
+
+    def attach_bus(self, bus: "BusLike | None") -> None:
+        """Emit ``FaultInjected``/``PowerLoss`` telemetry on ``bus``."""
+        self._obs = bus if bus else None
 
     # ------------------------------------------------------------------
     # Power-loss scheduling
@@ -115,6 +126,8 @@ class FaultInjector:
 
     def _power_loss(self) -> PowerLossError:
         fault_log.info("power loss at op %d", self.stats.ops)
+        if self._obs is not None:
+            self._obs.emit(PowerLossEvent(self.stats.ops))
         return PowerLossError(
             f"power lost at operation {self.stats.ops}", op_ordinal=self.stats.ops
         )
@@ -131,6 +144,8 @@ class FaultInjector:
             self.stats.erase_faults += 1
             fault_log.debug("transient erase failure on block %d (wear %d)",
                             block, wear)
+            if self._obs is not None:
+                self._obs.emit(FaultInjected("erase", block, -1))
             raise TransientEraseError(
                 f"erase of block {block} failed (transient, wear={wear})",
                 block=block,
@@ -153,6 +168,8 @@ class FaultInjector:
             self.bad_program_blocks.add(block)
             self.stats.program_faults += 1
             fault_log.debug("program failure on page (%d, %d)", block, page)
+            if self._obs is not None:
+                self._obs.emit(FaultInjected("program", block, page))
             raise ProgramFaultError(
                 f"program of page ({block}, {page}) failed verification; "
                 "block is grown bad",
@@ -186,6 +203,8 @@ class FaultInjector:
                 self.stats.reads_uncorrectable += 1
                 fault_log.debug("uncorrectable read on page (%d, %d) "
                                 "after %d retries", block, page, retries)
+                if self._obs is not None:
+                    self._obs.emit(FaultInjected("read", block, page))
                 raise UncorrectableReadError(
                     f"read of page ({block}, {page}) uncorrectable after "
                     f"{retries} retries ({errors} bit errors)",

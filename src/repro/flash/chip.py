@@ -34,9 +34,13 @@ from repro.flash.errors import (
     WearOutError,
 )
 from repro.flash.geometry import FlashGeometry
+from repro.obs.events import Erase as EraseEvent
+from repro.obs.events import Program as ProgramEvent
+from repro.obs.events import Read as ReadEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.fault.injector import FaultInjector
+    from repro.obs.bus import BusLike
 
 # Page states, stored one byte per page.
 PAGE_FREE = 0
@@ -113,12 +117,16 @@ class NandFlash:
         self.counters = OpCounters()
         self.worn_blocks: set[int] = set()
         self.first_failure: FirstFailure | None = None
-        self._erase_listeners: list[Callable[[int], None]] = []
+        # Stored as an immutable tuple: every mutation rebinds the name,
+        # so an in-flight dispatch loop keeps iterating its own snapshot
+        # even when a listener unsubscribes (itself or others) mid-fire.
+        self._erase_listeners: tuple[Callable[[int], None], ...] = ()
         #: Grown-bad blocks, marked by the translation layer at retirement.
         #: Conceptually the on-flash bad-block table: it survives "reboots"
         #: of the RAM layers above, so attach-time scans can skip them.
         self.bad_blocks: set[int] = set()
         self._injector: FaultInjector | None = None
+        self._obs: BusLike | None = None
 
     # ------------------------------------------------------------------
     # Fault injection and bad-block marks
@@ -139,6 +147,14 @@ class NandFlash:
         if injector.endurance is None:
             injector.endurance = self.geometry.endurance
         self._injector = injector
+
+    def attach_bus(self, bus: "BusLike | None") -> None:
+        """Emit telemetry events on ``bus`` from now on.
+
+        A falsy bus (``None`` or the null bus) normalises to ``None`` so
+        the disabled hot path stays a single ``is not None`` test.
+        """
+        self._obs = bus if bus else None
 
     def mark_bad(self, block: int) -> None:
         """Record ``block`` in the on-flash grown-bad-block table."""
@@ -184,6 +200,8 @@ class NandFlash:
         if self._injector is not None:
             self._injector.on_read(block, page)
         self.counters.reads += 1
+        if self._obs is not None:
+            self._obs.emit(ReadEvent(block, page))
         return self._spare_lba[index], self._data.get(index)
 
     def program(
@@ -240,6 +258,8 @@ class NandFlash:
         if self.store_data and data is not None:
             self._data[index] = bytes(data)
         self.counters.programs += 1
+        if self._obs is not None:
+            self._obs.emit(ProgramEvent(block, page, lba))
 
     def invalidate(self, block: int, page: int) -> None:
         """Mark a valid page invalid (out-place update of its logical data)."""
@@ -292,6 +312,10 @@ class NandFlash:
             self._spare_lba[index] = -1
             self._data.pop(index, None)
         self._block_tags.pop(block, None)
+        if self._obs is not None:
+            # Before the listeners: SWL work a listener triggers then
+            # traces causally after the erase that provoked it.
+            self._obs.emit(EraseEvent(block, self.erase_counts[block]))
         for listener in self._erase_listeners:
             listener(block)
 
@@ -300,10 +324,19 @@ class NandFlash:
     # ------------------------------------------------------------------
     def add_erase_listener(self, listener: Callable[[int], None]) -> None:
         """Register a callback invoked with the block number on every erase."""
-        self._erase_listeners.append(listener)
+        self._erase_listeners = self._erase_listeners + (listener,)
 
     def remove_erase_listener(self, listener: Callable[[int], None]) -> None:
-        self._erase_listeners.remove(listener)
+        """Unregister one registration of ``listener``; absent is a no-op.
+
+        Idempotent by design: a leveler detached both explicitly and by a
+        power-loss reset must not blow up the second time.  A dispatch in
+        progress keeps firing its pre-removal snapshot.
+        """
+        remaining = list(self._erase_listeners)
+        if listener in remaining:
+            remaining.remove(listener)
+            self._erase_listeners = tuple(remaining)
 
     def clear_erase_listeners(self) -> None:
         """Drop every erase listener (RAM wiring lost at power loss).
@@ -312,7 +345,7 @@ class NandFlash:
         listeners belong to the previous session's leveler, which no
         longer exists.
         """
-        self._erase_listeners.clear()
+        self._erase_listeners = ()
 
     def set_block_tag(self, block: int, tag: str) -> None:
         """Write a small erase-unit header for ``block``.

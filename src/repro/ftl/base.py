@@ -20,13 +20,17 @@ import math
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.core.leveler import SWLeveler
 from repro.flash.chip import PAGE_VALID
 from repro.flash.errors import TransientEraseError, TranslationError
 from repro.flash.mtd import MtdDevice
+from repro.obs.events import GcEnd, GcStart, Recovery
 from repro.util.diagnostics import fault_log
+
+if TYPE_CHECKING:
+    from repro.obs.bus import BusLike
 
 #: The paper's garbage-collection trigger: GC runs "when the percentage of
 #: free blocks was under 0.2% of the entire flash-memory capacity".
@@ -147,6 +151,41 @@ class TranslationLayer(ABC):
         self._failed_blocks: set[int] = set()
         self.stats = LayerStats()
         self.leveler: SWLeveler | None = None
+        self._obs: "BusLike | None" = None
+
+    def attach_bus(self, bus: "BusLike | None") -> None:
+        """Emit GC and recovery telemetry on ``bus``.
+
+        Propagates to the driver's Cleaner scanner when one exists, so a
+        single attach instruments the whole driver.
+        """
+        self._obs = bus if bus else None
+        scanner = getattr(self, "scanner", None)
+        if scanner is not None:
+            scanner.attach_bus(bus)
+
+    @contextmanager
+    def _gc_traced(self, reason: str, victim: int) -> Iterator[None]:
+        """Bracket one GC pass with ``GcStart``/``GcEnd`` telemetry.
+
+        The end event carries the pass's measured cost as deltas of the
+        driver's copy counter and the device's erase counter.  Off the
+        GC path entirely when no bus is attached.
+        """
+        if self._obs is None:
+            yield
+            return
+        self._obs.emit(GcStart(reason, victim))
+        copies_before = self.stats.live_page_copies
+        erases_before = self.mtd.counters.erases
+        try:
+            yield
+        finally:
+            self._obs.emit(GcEnd(
+                reason, victim,
+                self.stats.live_page_copies - copies_before,
+                self.mtd.counters.erases - erases_before,
+            ))
 
     def _release_or_retire(self, block: int) -> None:
         """Return an erased block to the pool, or retire it if worn/bad.
@@ -174,6 +213,8 @@ class TranslationLayer(ABC):
                 "grown bad" if failed else "worn out",
                 self.mtd.erase_counts[block],
             )
+            if self._obs is not None:
+                self._obs.emit(Recovery("retire", block))
             return
         self.allocator.release(block)
 
@@ -202,6 +243,8 @@ class TranslationLayer(ABC):
                     "%s: erase of block %d failed, retry %d/%d",
                     self.name, block, attempts, ERASE_RETRY_LIMIT - 1,
                 )
+                if self._obs is not None:
+                    self._obs.emit(Recovery("erase_retry", block))
         self._failed_blocks.add(block)
         flash = self.mtd.flash
         for page in flash.valid_pages(block):
@@ -210,6 +253,8 @@ class TranslationLayer(ABC):
             "%s: erase of block %d failed %d times; condemning block",
             self.name, block, attempts,
         )
+        if self._obs is not None:
+            self._obs.emit(Recovery("condemn", block))
         return False
 
     def _reserve_blocks(self) -> int:

@@ -18,6 +18,12 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs.events import GcScan
+
+if TYPE_CHECKING:
+    from repro.obs.bus import BusLike
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,13 @@ class CyclicScanner:
         self.size = size
         self.cursor = 0
         self.probes = 0  # diagnostic: total candidates examined
+        # Telemetry bus, set by the owning translation layer; None keeps
+        # the scan loop free of any event work.
+        self._obs: "BusLike | None" = None
+
+    def attach_bus(self, bus: "BusLike | None") -> None:
+        """Emit one ``GcScan`` event per victim-selection call on ``bus``."""
+        self._obs = bus if bus else None
 
     def find(
         self,
@@ -74,14 +87,20 @@ class CyclicScanner:
         blocks, unmapped chains, the active block).  One full revolution
         without a qualifying unit returns ``None``.
         """
+        before = self.probes
+        found: int | None = None
         for offset in range(self.size):
             unit = (self.cursor + offset) % self.size
             self.probes += 1
             score = score_of(unit)
             if score is not None and score.qualifies:
                 self.cursor = (unit + 1) % self.size
-                return unit
-        return None
+                found = unit
+                break
+        if self._obs is not None:
+            self._obs.emit(GcScan("first-fit", self.probes - before,
+                                  -1 if found is None else found))
+        return found
 
     def find_least_worn(
         self,
@@ -97,6 +116,7 @@ class CyclicScanner:
         cyclic revolution enumerates candidates; ties break in scan order
         so consecutive garbage collections still walk the ring.
         """
+        before = self.probes
         best_unit: int | None = None
         best_wear = None
         for offset in range(self.size):
@@ -110,6 +130,9 @@ class CyclicScanner:
                 best_unit, best_wear = unit, wear
         if best_unit is not None:
             self.cursor = (best_unit + 1) % self.size
+        if self._obs is not None:
+            self._obs.emit(GcScan("least-worn", self.probes - before,
+                                  -1 if best_unit is None else best_unit))
         return best_unit
 
     def find_best_fallback(
@@ -123,6 +146,7 @@ class CyclicScanner:
         considered (recycling a block with nothing invalid reclaims no
         space).  Returns ``None`` when nothing can be reclaimed at all.
         """
+        before = self.probes
         best_unit: int | None = None
         best_sum = None
         for unit in range(self.size):
@@ -134,6 +158,9 @@ class CyclicScanner:
                 best_unit, best_sum = unit, score.weighted_sum
         if best_unit is not None:
             self.cursor = (best_unit + 1) % self.size
+        if self._obs is not None:
+            self._obs.emit(GcScan("fallback", self.probes - before,
+                                  -1 if best_unit is None else best_unit))
         return best_unit
 
     def __repr__(self) -> str:

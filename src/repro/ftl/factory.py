@@ -31,6 +31,7 @@ if TYPE_CHECKING:
     from repro.array.device import DeviceArray
     from repro.fault.injector import FaultInjector
     from repro.fault.plan import FaultPlan
+    from repro.obs.bus import BusLike
 
 _DRIVERS: dict[str, type[TranslationLayer]] = {
     "ftl": PageMappingFTL,
@@ -233,6 +234,7 @@ def build_stack(
     store_data: bool = False,
     rng: random.Random | None = None,
     injector: "FaultInjector | None" = None,
+    bus: "BusLike | None" = None,
 ) -> StorageStack:
     """Assemble chip, MTD, driver, and (optionally) the SW Leveler.
 
@@ -254,6 +256,11 @@ def build_stack(
     injector:
         Fault injector attached to the chip before the driver touches it
         (see :mod:`repro.fault`).
+    bus:
+        Telemetry event bus (see :mod:`repro.obs`); attached to every
+        instrumented component and given the device's ``busy_time`` as
+        its clock.  ``None`` (the default) builds the stack with
+        telemetry fully disabled.
     """
     flash = NandFlash(geometry, store_data=store_data)
     if injector is not None:
@@ -272,6 +279,17 @@ def build_stack(
         leveler = swl.build(geometry.num_blocks, layer, rng=rng)
         assert leveler is not None
         layer.attach_leveler(leveler)
+    if bus:
+        # Timestamps are simulated device time: the accumulated busy
+        # time of this stack's MTD (per-shard clocks in an array).
+        if getattr(bus, "clock", None) is None:
+            bus.clock = lambda: mtd.busy_time
+        flash.attach_bus(bus)
+        layer.attach_bus(bus)
+        if leveler is not None:
+            leveler.attach_bus(bus)
+        if injector is not None:
+            injector.attach_bus(bus)
     return StorageStack(flash=flash, mtd=mtd, layer=layer, leveler=leveler)
 
 
@@ -291,6 +309,7 @@ def build_backend(
     rng: random.Random | None = None,
     injector: "FaultInjector | None" = None,
     fault_plan: "FaultPlan | None" = None,
+    bus: "BusLike | None" = None,
 ) -> "StorageStack | DeviceArray":
     """Build a :class:`StorageBackend` with the requested channel count.
 
@@ -321,6 +340,7 @@ def build_backend(
             store_data=store_data,
             rng=rng,
             injector=injector,
+            bus=bus,
         )
     from repro.array.device import build_array
 
@@ -343,4 +363,5 @@ def build_backend(
         store_data=store_data,
         rng=rng,
         fault_plan=fault_plan,
+        bus=bus,
     )

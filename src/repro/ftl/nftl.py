@@ -34,6 +34,7 @@ from repro.flash.mtd import MtdDevice
 from repro.ftl.allocator import BlockAllocator
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
 from repro.ftl.cleaner import CyclicScanner, GreedyScore
+from repro.obs.events import Recovery
 from repro.util.diagnostics import fault_log
 
 _NOWHERE = -1
@@ -165,7 +166,8 @@ class NFTL(TranslationLayer):
             else:
                 with self._leveler_suspended():
                     self._ensure_fold_headroom()
-                    self._fold(chain)
+                    with self._gc_traced("fold", chain.vba):
+                        self._fold(chain)
                 continue
             try:
                 self.mtd.write_page(dest_block, dest_page, lba=lpn, data=data)
@@ -208,6 +210,8 @@ class NFTL(TranslationLayer):
                 "NFTL: program fault on block %d; owning chain will fold "
                 "and the block retire", block,
             )
+        if self._obs is not None:
+            self._obs.emit(Recovery("reissue", block))
 
     def _process_pending_retirements(self) -> None:
         """Fold chains owning program-faulted blocks so the blocks retire.
@@ -231,7 +235,8 @@ class NFTL(TranslationLayer):
                 copies_before = self.stats.live_page_copies
                 with self._leveler_suspended():
                     self._ensure_fold_headroom()
-                    self._fold(chain)
+                    with self._gc_traced("recovery", chain.vba):
+                        self._fold(chain)
                 self.stats.recovery_copies += (
                     self.stats.live_page_copies - copies_before
                 )
@@ -295,7 +300,8 @@ class NFTL(TranslationLayer):
         self.stats.gc_runs += 1
         chain = self._chains[victim]
         assert chain is not None
-        self._fold(chain)
+        with self._gc_traced("free-space", victim):
+            self._fold(chain)
 
     def _ensure_fold_headroom(self) -> None:
         """A fold allocates one block before erasing two; make sure the
@@ -660,7 +666,8 @@ class NFTL(TranslationLayer):
                         self.allocator.promote(block)
                     continue
                 self._ensure_fold_headroom()
-                self._fold(chain)
+                with self._gc_traced("swl", chain.vba):
+                    self._fold(chain)
                 self.stats.forced_recycles += 1
                 recycled += 1
         return recycled

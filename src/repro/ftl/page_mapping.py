@@ -29,6 +29,7 @@ from repro.flash.mtd import MtdDevice
 from repro.ftl.allocator import BlockAllocator
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
 from repro.ftl.cleaner import CyclicScanner, GreedyScore
+from repro.obs.events import Recovery
 from repro.util.diagnostics import fault_log
 
 _UNMAPPED = -1
@@ -188,6 +189,8 @@ class PageMappingFTL(TranslationLayer):
                 "FTL: program fault on block %d (%s frontier); "
                 "block scheduled for retirement", block, kind,
             )
+        if self._obs is not None:
+            self._obs.emit(Recovery("reissue", block))
 
     def _process_pending_retirements(self) -> None:
         """Relocate and retire program-faulted blocks.
@@ -210,7 +213,8 @@ class PageMappingFTL(TranslationLayer):
                     if frontier is not None and frontier[0] == block:
                         setattr(self, attr, None)
                 copies_before = self.stats.live_page_copies
-                with self._leveler_suspended():
+                with self._leveler_suspended(), \
+                        self._gc_traced("recovery", block):
                     self._relocate_and_erase(block)
                 self.stats.recovery_copies += (
                     self.stats.live_page_copies - copies_before
@@ -257,7 +261,7 @@ class PageMappingFTL(TranslationLayer):
         )
         if victim is not None:
             self.stats.dead_recycles += 1
-            with self._leveler_suspended():
+            with self._leveler_suspended(), self._gc_traced("dead", victim):
                 self._relocate_and_erase(victim)
 
     def _next_copy_page(self) -> tuple[int, int]:
@@ -329,7 +333,8 @@ class PageMappingFTL(TranslationLayer):
                 "the logical space is too large for the physical space"
             )
         self.stats.gc_runs += 1
-        self._relocate_and_erase(victim)
+        with self._gc_traced("free-space", victim):
+            self._relocate_and_erase(victim)
 
     def _relocate_and_erase(self, block: int, *, cold: bool = False) -> None:
         """Copy every live page out of ``block``, erase it, pool it.
@@ -389,7 +394,8 @@ class PageMappingFTL(TranslationLayer):
                     self._copy_frontier = None
                 if self._cold_frontier is not None and block == self._cold_frontier[0]:
                     self._cold_frontier = None
-                self._relocate_and_erase(block, cold=True)
+                with self._gc_traced("swl", block):
+                    self._relocate_and_erase(block, cold=True)
                 self.stats.forced_recycles += 1
                 recycled += 1
         return recycled

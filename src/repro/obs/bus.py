@@ -1,0 +1,154 @@
+"""Event bus: fan-out of typed telemetry events to subscribers.
+
+The bus is deliberately tiny.  Instrumented components hold either a live
+bus or ``None`` — never a "maybe disabled" object — so the disabled hot
+path is a single ``if self._obs is not None:`` test with no attribute
+chasing, no event construction, and no call dispatch.  Components
+normalise whatever they are handed with ``bus if bus else None``, which
+maps :data:`NULL_BUS` (falsy) onto the cheap ``None`` representation.
+
+Timestamps come from an injectable ``clock`` callable rather than wall
+time: the factory wires it to the device's accumulated ``busy_time``, so
+exported traces are in *simulated* seconds and runs are reproducible.
+Multi-channel arrays hand each shard a :class:`ShardBus` view — same
+subscribers, shard-specific tag and clock — mirroring how
+``DeviceArray`` composes per-shard ``EraseDistribution`` snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.events import Event
+
+Subscriber = Callable[["TraceRecord"], None]
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One event as delivered to subscribers: timestamped and shard-tagged.
+
+    ``ts`` is simulated device time in seconds (monotonic per shard,
+    since it tracks that shard's accumulated busy time).
+    """
+
+    ts: float
+    shard: int
+    event: Event
+
+
+class EventBus:
+    """Synchronous fan-out of :class:`TraceRecord` to subscribers.
+
+    Dispatch snapshots the subscriber tuple, so a subscriber may
+    subscribe/unsubscribe others (or itself) mid-dispatch without
+    corrupting iteration.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._subscribers: tuple[Subscriber, ...] = ()
+        #: Returns current simulated time; ``None`` until the factory
+        #: wires it to the backing device.
+        self.clock: Optional[Clock] = clock
+
+    def __bool__(self) -> bool:
+        return True
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register ``subscriber``; duplicates are allowed and fire twice."""
+        self._subscribers = self._subscribers + (subscriber,)
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Remove one registration of ``subscriber``; absent is a no-op."""
+        subs = list(self._subscribers)
+        if subscriber in subs:
+            subs.remove(subscriber)
+            self._subscribers = tuple(subs)
+
+    def now(self) -> float:
+        """Current simulated time, 0.0 before a clock is wired."""
+        clock = self.clock
+        return clock() if clock is not None else 0.0
+
+    def emit(self, event: Event, shard: int = 0) -> None:
+        """Timestamp ``event`` and deliver it to every subscriber."""
+        record = TraceRecord(self.now(), shard, event)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def for_shard(self, shard: int, clock: Optional[Clock] = None) -> "ShardBus":
+        """A view of this bus that tags emissions with ``shard``.
+
+        ``clock`` overrides the timestamp source for that shard (each
+        array channel keeps its own busy-time tally).
+        """
+        return ShardBus(self, shard, clock)
+
+
+class ShardBus:
+    """Shard-tagged view over a parent :class:`EventBus`.
+
+    Presents the same ``emit``/``clock`` surface as :class:`EventBus`
+    so instrumented components are topology-blind.
+    """
+
+    def __init__(self, parent: EventBus, shard: int,
+                 clock: Optional[Clock] = None) -> None:
+        self.parent = parent
+        self.shard = shard
+        self.clock: Optional[Clock] = clock
+
+    def __bool__(self) -> bool:
+        return True
+
+    def now(self) -> float:
+        clock = self.clock
+        if clock is not None:
+            return clock()
+        return self.parent.now()
+
+    def emit(self, event: Event, shard: Optional[int] = None) -> None:
+        record = TraceRecord(self.now(), self.shard if shard is None else shard,
+                             event)
+        for subscriber in self.parent._subscribers:
+            subscriber(record)
+
+    def for_shard(self, shard: int, clock: Optional[Clock] = None) -> "ShardBus":
+        return ShardBus(self.parent, shard, clock)
+
+
+class NullEventBus:
+    """Falsy do-nothing bus: ``bus if bus else None`` maps it to ``None``.
+
+    Exists so call sites can accept "a bus" unconditionally while the
+    hot path stays a bare ``None`` check.  Its ``emit`` is still safe to
+    call (it discards the event) for code outside any hot path.
+    """
+
+    def __bool__(self) -> bool:
+        return False
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        pass
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        pass
+
+    def now(self) -> float:
+        return 0.0
+
+    def emit(self, event: Event, shard: int = 0) -> None:
+        pass
+
+    def for_shard(self, shard: int,
+                  clock: Optional[Clock] = None) -> "NullEventBus":
+        return self
+
+
+#: Shared falsy bus instance for call sites that want a default object.
+NULL_BUS = NullEventBus()
+
+#: A live bus an instrumented component may hold after normalisation.
+BusLike = EventBus | ShardBus

@@ -1,0 +1,171 @@
+"""Metrics collector: folds the event stream into per-shard registries.
+
+The collector is an ordinary bus subscriber.  It keeps **one registry per
+shard** and produces the global view by merging their snapshots — the
+same composition discipline as ``DeviceArray`` merging per-shard
+``EraseDistribution``s — so array telemetry is exact by construction
+rather than approximated by sampling the merged device.
+
+Metric naming follows Prometheus conventions (``*_total`` counters,
+base-unit gauge/histogram names) under a single ``repro_`` prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.bus import TraceRecord
+from repro.obs.events import (
+    BetReset,
+    Erase,
+    Event,
+    FaultInjected,
+    GcEnd,
+    GcScan,
+    GcStart,
+    PowerLoss,
+    Program,
+    Read,
+    Recovery,
+    SwlInvoke,
+)
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+#: SWL trigger latency buckets, in block erases between trigger and run.
+LATENCY_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 100.0)
+
+
+class MetricsCollector:
+    """Subscribe to a bus and aggregate events into mergeable metrics."""
+
+    def __init__(self) -> None:
+        self._registries: dict[int, MetricsRegistry] = {}
+        self._handlers: dict[type[Event], Callable[[MetricsRegistry, Event],
+                                                   None]] = {
+            Read: self._on_read,
+            Program: self._on_program,
+            Erase: self._on_erase,
+            GcStart: self._on_gc_start,
+            GcEnd: self._on_gc_end,
+            GcScan: self._on_gc_scan,
+            SwlInvoke: self._on_swl_invoke,
+            BetReset: self._on_bet_reset,
+            FaultInjected: self._on_fault,
+            Recovery: self._on_recovery,
+            PowerLoss: self._on_power_loss,
+        }
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        """Shards seen so far, ascending."""
+        return tuple(sorted(self._registries))
+
+    def registry(self, shard: int) -> MetricsRegistry:
+        """The (created-on-demand) registry for ``shard``."""
+        registry = self._registries.get(shard)
+        if registry is None:
+            registry = self._registries[shard] = MetricsRegistry()
+        return registry
+
+    def __call__(self, record: TraceRecord) -> None:
+        handler = self._handlers.get(type(record.event))
+        if handler is not None:
+            handler(self.registry(record.shard), record.event)
+
+    # -- per-event folds ---------------------------------------------------
+
+    def _on_read(self, registry: MetricsRegistry, event: Event) -> None:
+        registry.counter("repro_flash_reads_total",
+                         "Page reads completed").inc()
+
+    def _on_program(self, registry: MetricsRegistry, event: Event) -> None:
+        registry.counter("repro_flash_programs_total",
+                         "Page programs completed").inc()
+
+    def _on_erase(self, registry: MetricsRegistry, event: Event) -> None:
+        assert isinstance(event, Erase)
+        registry.counter("repro_flash_erases_total",
+                         "Block erases completed").inc()
+        peak = registry.gauge("repro_flash_max_block_erases",
+                              "Highest per-block erase count observed",
+                              agg="max")
+        if event.count > peak.value:
+            peak.set(event.count)
+
+    def _on_gc_start(self, registry: MetricsRegistry, event: Event) -> None:
+        assert isinstance(event, GcStart)
+        registry.counter("repro_gc_passes_total",
+                         "Garbage-collection passes started").inc()
+        reason = event.reason.replace("-", "_")
+        registry.counter(f"repro_gc_passes_{reason}_total",
+                         f"GC passes attributed to {event.reason}").inc()
+
+    def _on_gc_end(self, registry: MetricsRegistry, event: Event) -> None:
+        assert isinstance(event, GcEnd)
+        copies = registry.counter("repro_gc_copied_pages_total",
+                                  "Live pages copied by GC")
+        erases = registry.counter("repro_gc_erases_total",
+                                  "Block erases performed by GC")
+        copies.inc(event.copies)
+        erases.inc(event.erases)
+        if erases.value:
+            registry.gauge(
+                "repro_gc_copy_amplification",
+                "Cumulative live-page copies per GC erase", agg="max",
+            ).set(round(copies.value / erases.value, 6))
+
+    def _on_gc_scan(self, registry: MetricsRegistry, event: Event) -> None:
+        assert isinstance(event, GcScan)
+        registry.counter("repro_gc_scans_total",
+                         "Victim-selection scans").inc()
+        registry.counter("repro_gc_scan_probes_total",
+                         "Candidates examined during victim scans"
+                         ).inc(event.probes)
+
+    def _on_swl_invoke(self, registry: MetricsRegistry, event: Event) -> None:
+        assert isinstance(event, SwlInvoke)
+        registry.counter("repro_swl_invocations_total",
+                         "SWL-Procedure runs that moved data").inc()
+        registry.gauge("repro_swl_unevenness",
+                       "ecnt/fcnt at SWL-Procedure entry",
+                       agg="max").set(round(event.unevenness, 6))
+        registry.histogram(
+            "repro_swl_trigger_latency_erases",
+            "Erases between SWL trigger and procedure run",
+            buckets=LATENCY_BUCKETS,
+        ).observe(event.latency_erases)
+
+    def _on_bet_reset(self, registry: MetricsRegistry, event: Event) -> None:
+        registry.counter("repro_bet_resets_total",
+                         "BET resetting intervals completed").inc()
+
+    def _on_fault(self, registry: MetricsRegistry, event: Event) -> None:
+        assert isinstance(event, FaultInjected)
+        registry.counter("repro_faults_injected_total",
+                         "Faults delivered by the injector").inc()
+        registry.counter(f"repro_faults_{event.fault}_total",
+                         f"Injected {event.fault} faults").inc()
+
+    def _on_recovery(self, registry: MetricsRegistry, event: Event) -> None:
+        assert isinstance(event, Recovery)
+        registry.counter("repro_recovery_actions_total",
+                         "Driver fault-recovery actions").inc()
+        registry.counter(f"repro_recovery_{event.action}_total",
+                         f"Recovery actions of kind {event.action}").inc()
+
+    def _on_power_loss(self, registry: MetricsRegistry, event: Event) -> None:
+        registry.counter("repro_power_loss_total",
+                         "Scheduled power losses delivered").inc()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def shard_snapshot(self, shard: int) -> MetricsSnapshot:
+        """Snapshot of one shard's registry."""
+        return self.registry(shard).snapshot()
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Global snapshot: exact merge of every shard's snapshot."""
+        merged = MetricsSnapshot({}, {}, {})
+        for shard in self.shards:
+            merged = merged.merge(self._registries[shard].snapshot())
+        return merged

@@ -20,6 +20,7 @@ from typing import Iterable, Iterator
 
 from repro.flash.errors import PowerLossError, TranslationError
 from repro.ftl.factory import StorageBackend
+from repro.obs.heatmap import WearHeatmap
 from repro.sim.metrics import EraseDistribution, first_failure_years
 from repro.traces.model import Request
 
@@ -88,6 +89,8 @@ class SimResult:
     shard_erase_distributions: list[EraseDistribution] = field(
         default_factory=list
     )
+    #: Periodic wear heatmaps (telemetry runs only; see ``repro.obs``).
+    heatmaps: list[WearHeatmap] = field(default_factory=list)
 
     @property
     def first_failure_years(self) -> float | None:
@@ -119,11 +122,21 @@ class SimResult:
             **{f"swl_{k}": v for k, v in self.swl_stats.items()},
             **({"power_lost": self.power_lost} if self.power_lost else {}),
             **{f"fault_{k}": v for k, v in self.fault_stats.items()},
+            # Only present on telemetry runs, so a telemetry-off dict is
+            # a strict subset of a telemetry-on one (minus this key).
+            **(
+                {"heatmap_snapshots": [h.as_dict() for h in self.heatmaps]}
+                if self.heatmaps
+                else {}
+            ),
         }
 
 
 #: Timeline length at which sampling decimates (see ``max_samples``).
 DEFAULT_MAX_SAMPLES = 4096
+
+#: Heatmap count at which sampling decimates (see ``max_heatmaps``).
+DEFAULT_MAX_HEATMAPS = 64
 
 
 class Simulator:
@@ -156,6 +169,18 @@ class Simulator:
         interval doubled — so a 10-year horizon holds the resolution it
         can afford instead of growing without bound.  ``None`` disables
         the cap.
+    heatmap_interval:
+        When set (simulated seconds), the engine snapshots a
+        :class:`~repro.obs.heatmap.WearHeatmap` of per-block erase counts
+        every interval — the spatial companion of the ``WearSample``
+        timeline.  A final snapshot is always taken at the end of the
+        run, so any enabled replay that advances the clock yields at
+        least two heatmaps.  ``None`` (default) disables them.
+    heatmap_bins:
+        Grid width of each heatmap (blocks are binned into this many
+        fixed-width cells).
+    max_heatmaps:
+        Heatmap count bound, decimated like ``max_samples``.
     """
 
     def __init__(
@@ -166,6 +191,9 @@ class Simulator:
         skip_reads: bool = False,
         sample_interval: float | None = None,
         max_samples: int | None = DEFAULT_MAX_SAMPLES,
+        heatmap_interval: float | None = None,
+        heatmap_bins: int = 64,
+        max_heatmaps: int | None = DEFAULT_MAX_HEATMAPS,
     ) -> None:
         if sample_interval is not None and sample_interval <= 0:
             raise ValueError(
@@ -173,13 +201,26 @@ class Simulator:
             )
         if max_samples is not None and max_samples < 2:
             raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        if heatmap_interval is not None and heatmap_interval <= 0:
+            raise ValueError(
+                f"heatmap_interval must be positive, got {heatmap_interval}"
+            )
+        if heatmap_bins <= 0:
+            raise ValueError(f"heatmap_bins must be positive, got {heatmap_bins}")
+        if max_heatmaps is not None and max_heatmaps < 2:
+            raise ValueError(f"max_heatmaps must be >= 2, got {max_heatmaps}")
         self.stack = stack
         self.lba_modulo = lba_modulo
         self.skip_reads = skip_reads
         self.sample_interval = sample_interval
         self.max_samples = max_samples
+        self.heatmap_interval = heatmap_interval
+        self.heatmap_bins = heatmap_bins
+        self.max_heatmaps = max_heatmaps
         self.timeline: list[WearSample] = []
+        self.heatmaps: list[WearHeatmap] = []
         self._next_sample = 0.0 if sample_interval else float("inf")
+        self._next_heatmap = 0.0 if heatmap_interval else float("inf")
         self.clock = 0.0
         self.requests_done = 0
         self.pages_written = 0
@@ -237,6 +278,8 @@ class Simulator:
         self.requests_done += 1
         if self.clock >= self._next_sample:
             self._take_sample()
+        if self.clock >= self._next_heatmap:
+            self._take_heatmap()
         if (
             self.first_failure_clock is None
             and backend.first_failure is not None
@@ -293,6 +336,19 @@ class Simulator:
             self.sample_interval *= 2
         self._next_sample = self.clock + self.sample_interval
 
+    def _take_heatmap(self) -> None:
+        self.heatmaps.append(
+            WearHeatmap.from_counts(
+                self.clock, self.stack.erase_counts, bins=self.heatmap_bins
+            )
+        )
+        assert self.heatmap_interval is not None
+        if self.max_heatmaps is not None and len(self.heatmaps) >= self.max_heatmaps:
+            # Same decimation scheme as the WearSample timeline.
+            del self.heatmaps[1::2]
+            self.heatmap_interval *= 2
+        self._next_heatmap = self.clock + self.heatmap_interval
+
     def result(self, *, label: str | None = None) -> SimResult:
         """Snapshot the current state as a :class:`SimResult`.
 
@@ -301,6 +357,11 @@ class Simulator:
         :meth:`~repro.sim.metrics.EraseDistribution.merge`.
         """
         backend = self.stack
+        if self.heatmap_interval is not None and (
+            not self.heatmaps or self.heatmaps[-1].ts < self.clock
+        ):
+            # Close the series with the end-of-run wear picture.
+            self._take_heatmap()
         layer_stats = backend.layer_stats()
         shard_distributions = [
             EraseDistribution.from_counts(counts)
@@ -330,4 +391,5 @@ class Simulator:
             shard_erase_distributions=(
                 shard_distributions if len(shard_distributions) > 1 else []
             ),
+            heatmaps=list(self.heatmaps),
         )

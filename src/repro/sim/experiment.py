@@ -21,16 +21,21 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.core.config import SWLConfig
 from repro.flash.geometry import CellType, FlashGeometry
 from repro.ftl.base import DEFAULT_OP_RATIO
 from repro.ftl.factory import StorageBackend, build_backend
+from repro.obs.telemetry import DEFAULT_HEATMAP_BINS
 from repro.sim.engine import Simulator, SimResult, StopCondition
 from repro.traces.extend import SegmentResampler
 from repro.traces.generator import MobilePCWorkload, WorkloadParams
 from repro.traces.model import Request
 from repro.util.rng import make_rng, spawn_rng
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 #: Hard request cap for "endless" replays — a defensive bound far above
 #: any first-failure point of the shipped geometries.
@@ -119,7 +124,13 @@ class ExperimentSpec:
             base = f"{base}x{self.channels}[{self.striping},{self.swl_scope}]"
         return base
 
-    def build(self) -> StorageBackend:
+    def build(self, *, telemetry: "Telemetry | None" = None) -> StorageBackend:
+        """Wire the backend; ``telemetry`` attaches its event bus.
+
+        The bus rides alongside the stack without touching any RNG
+        stream, so a telemetry-on build replays bit-identically to a
+        telemetry-off one.
+        """
         rng = make_rng(self.seed)
         return build_backend(
             self.geometry,
@@ -131,6 +142,7 @@ class ExperimentSpec:
             op_ratio=self.op_ratio,
             alloc_policy=self.alloc_policy,
             rng=spawn_rng(rng, "leveler"),
+            bus=telemetry.bus if telemetry is not None else None,
         )
 
 
@@ -174,6 +186,7 @@ def _start_simulator(
     spec: ExperimentSpec,
     warmup: list[Request] | None,
     skip_reads: bool,
+    telemetry: "Telemetry | None" = None,
 ) -> Simulator:
     """Build the stack and optionally install the disk image.
 
@@ -185,8 +198,21 @@ def _start_simulator(
     Wear experiments skip read requests by default: NAND reads neither
     program nor erase, so every Section 5 metric is unchanged, and replay
     runs roughly twice as fast.
+
+    ``telemetry`` attaches its event bus to the backend and carries the
+    wear-heatmap preferences into the engine.
     """
-    simulator = Simulator(spec.build(), skip_reads=skip_reads)
+    simulator = Simulator(
+        spec.build(telemetry=telemetry),
+        skip_reads=skip_reads,
+        heatmap_interval=(
+            telemetry.heatmap_interval if telemetry is not None else None
+        ),
+        heatmap_bins=(
+            telemetry.heatmap_bins if telemetry is not None
+            else DEFAULT_HEATMAP_BINS
+        ),
+    )
     if warmup:
         for request in warmup:
             simulator.apply(request)
@@ -203,6 +229,7 @@ def run_until_first_failure(
     warmup: list[Request] | None = None,
     skip_reads: bool = True,
     request_cap: int = DEFAULT_REQUEST_CAP,
+    telemetry: "Telemetry | None" = None,
 ) -> SimResult:
     """Replay the resampled endless trace until the first block wears out.
 
@@ -211,7 +238,7 @@ def run_until_first_failure(
     trace segment".  The returned result's ``first_failure_years`` is the
     y-axis value.
     """
-    simulator = _start_simulator(spec, warmup, skip_reads)
+    simulator = _start_simulator(spec, warmup, skip_reads, telemetry)
     rng = spawn_rng(make_rng(spec.seed), "resampler")
     endless = SegmentResampler(base_trace, rng=rng)
     stop = StopCondition(until_first_failure=True, max_requests=request_cap)
@@ -226,13 +253,14 @@ def run_fixed_horizon(
     warmup: list[Request] | None = None,
     skip_reads: bool = True,
     request_cap: int = DEFAULT_REQUEST_CAP,
+    telemetry: "Telemetry | None" = None,
 ) -> SimResult:
     """Replay the resampled trace for ``horizon`` simulated seconds.
 
     Wear-out does not stop the run (paper Table 4: "trace simulations of
     10 years even though some blocks were worn out").
     """
-    simulator = _start_simulator(spec, warmup, skip_reads)
+    simulator = _start_simulator(spec, warmup, skip_reads, telemetry)
     rng = spawn_rng(make_rng(spec.seed), "resampler")
     endless = SegmentResampler(base_trace, rng=rng)
     stop = StopCondition(max_time=horizon, max_requests=request_cap)

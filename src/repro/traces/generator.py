@@ -233,7 +233,19 @@ class MobilePCWorkload:
                 covered += length
             carved += covered
         if not any(e.temperature is Temperature.HOT for e in extents):
-            raise ValueError("workload parameters produced no hot extents")
+            # Tiny address spaces can let the static class (carved first)
+            # claim every slot, leaving the hot class nothing.  The stream
+            # generator requires at least one hot extent, so relabel the
+            # smallest extent instead of failing.  No RNG draws happen on
+            # this path: layouts that already have hot extents — every
+            # previously working parameter set — are byte-identical.
+            if not extents:
+                raise ValueError(
+                    "workload parameters produced no extents at all")
+            smallest = min(extents, key=lambda e: (e.length, e.start))
+            extents[extents.index(smallest)] = _Extent(
+                start=smallest.start, length=smallest.length,
+                temperature=Temperature.HOT)
         return extents
 
     # ------------------------------------------------------------------

@@ -19,10 +19,16 @@ channels with ``logging.basicConfig(level=logging.DEBUG)`` or a targeted
 from __future__ import annotations
 
 import logging
+import sys
+from typing import IO, Optional, Sequence, Union
 
 _ROOT = logging.getLogger("repro")
 if not _ROOT.handlers:
     _ROOT.addHandler(logging.NullHandler())
+
+# Handlers installed by configure_logging, so reconfiguration (repeated
+# CLI invocations in one process, tests) never stacks duplicates.
+_configured: list[tuple[logging.Logger, logging.Handler]] = []
 
 
 def get_logger(channel: str) -> logging.Logger:
@@ -32,6 +38,45 @@ def get_logger(channel: str) -> logging.Logger:
     'repro.fault'
     """
     return logging.getLogger(f"repro.{channel}")
+
+
+def configure_logging(
+    level: Union[int, str] = "INFO",
+    channels: Optional[Sequence[str]] = None,
+    stream: Optional[IO[str]] = None,
+) -> None:
+    """Enable diagnostics output — the CLI's ``--log-level`` backend.
+
+    Installs a stderr (or ``stream``) handler at ``level`` on the root
+    ``repro`` logger, or only on the named ``channels`` (``"fault"``,
+    ``"leveler"``, ``"obs"``, ...) when given.  Calling again replaces
+    the previous configuration instead of stacking handlers.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+    else:
+        resolved = level
+    reset_logging()
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(name)s %(levelname)s %(message)s"))
+    targets = ([get_logger(channel) for channel in channels]
+               if channels else [_ROOT])
+    for logger in targets:
+        logger.addHandler(handler)
+        logger.setLevel(resolved)
+        _configured.append((logger, handler))
+
+
+def reset_logging() -> None:
+    """Remove handlers installed by :func:`configure_logging`."""
+    for logger, handler in _configured:
+        logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+    _configured.clear()
 
 
 #: Fault-injection and recovery events.

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -114,3 +116,75 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTraceCommand:
+    def test_exports_artifact_set(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code = main([
+            "trace", str(out_dir), "--blocks", "24", "--scale", "100",
+            "--hours", "1", "--days", "0.0208", "-T", "20", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Traced replay" in out
+        assert "Perfetto" in out
+        document = json.load(open(out_dir / "trace.chrome.json"))
+        assert document["traceEvents"]
+        first = json.loads(
+            (out_dir / "trace.jsonl").read_text().splitlines()[0]
+        )
+        assert {"ts", "shard", "kind"} <= set(first)
+        prom = (out_dir / "metrics.prom").read_text()
+        assert "repro_flash_erases_total" in prom
+
+    def test_simulate_telemetry_flag(self, capsys):
+        code = main([
+            "simulate", "--blocks", "24", "--scale", "100", "--days", "0.1",
+            "-T", "10", "--seed", "2", "--telemetry",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Telemetry" in out
+        assert "wear heatmaps" in out
+
+    def test_sweep_trace_out_writes_per_cell_dirs(self, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        code = main([
+            "sweep", "--blocks", "24", "--scale", "100", "--thresholds",
+            "20", "--ks", "0", "--seed", "3", "--trace-out", str(out_dir),
+        ])
+        assert code == 0
+        cells = sorted(p.name for p in out_dir.iterdir())
+        assert len(cells) == 2  # baseline + one (T, k) point
+        for cell in cells:
+            assert (out_dir / cell / "metrics.prom").exists()
+
+    def test_sweep_bare_telemetry_warns(self, capsys):
+        code = main([
+            "sweep", "--blocks", "24", "--scale", "100", "--thresholds",
+            "20", "--ks", "0", "--seed", "3", "--telemetry",
+        ])
+        assert code == 0
+        assert "--trace-out" in capsys.readouterr().err
+
+
+class TestLoggingOptions:
+    def test_log_level_enables_diagnostics(self, capsys):
+        from repro.util.diagnostics import reset_logging
+
+        try:
+            code = main([
+                "--log-level", "DEBUG", "--log-channel", "leveler",
+                "simulate", "--blocks", "24", "--scale", "100",
+                "--days", "0.05", "-T", "10", "--seed", "2",
+            ])
+            assert code == 0
+            assert "repro.leveler" in capsys.readouterr().err
+        finally:
+            reset_logging()
+
+    def test_unknown_log_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            main(["--log-level", "LOUD", "simulate", "--blocks", "24",
+                  "--scale", "100", "--days", "0.05", "--seed", "2"])

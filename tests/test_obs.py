@@ -1,0 +1,564 @@
+"""Tests for the telemetry subsystem (:mod:`repro.obs`).
+
+Covers the event bus, the metrics registry and its exact cross-shard
+merging, wear heatmaps, the exporters, the chip/driver/leveler
+instrumentation, and — most importantly — the *off* path: a stack built
+without a bus must emit nothing and allocate no event objects, and a
+telemetry-enabled run must produce a result identical to a disabled one
+(minus the telemetry-only keys).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+import repro.flash.chip as chip_module
+import repro.ftl.base as ftl_base_module
+from repro.core.config import SWLConfig
+from repro.flash import MLC2_TINY, NandFlash
+from repro.ftl.factory import build_stack
+from repro.obs import (
+    NULL_BUS,
+    ChromeTraceExporter,
+    EventBus,
+    JsonlTraceExporter,
+    LogExporter,
+    MetricsCollector,
+    MetricsRegistry,
+    NullEventBus,
+    Telemetry,
+    WearHeatmap,
+    render_prometheus,
+)
+from repro.obs.events import (
+    BetReset,
+    Erase,
+    GcEnd,
+    GcStart,
+    Program,
+    Read,
+    SwlInvoke,
+)
+from repro.sim.engine import Simulator
+from repro.sim.experiment import (
+    ExperimentSpec,
+    make_base_trace,
+    run_fixed_horizon,
+    scaled_mlc2_geometry,
+    workload_params_for,
+)
+
+
+# ----------------------------------------------------------------------
+# Event bus
+# ----------------------------------------------------------------------
+class TestEventBus:
+    def test_emit_delivers_timestamped_records(self):
+        bus = EventBus(clock=lambda: 42.5)
+        records = []
+        bus.subscribe(records.append)
+        bus.emit(Erase(block=3, count=7))
+        assert len(records) == 1
+        record = records[0]
+        assert record.ts == 42.5
+        assert record.shard == 0
+        assert record.event.kind == "erase"
+        assert record.event.payload() == {"block": 3, "count": 7}
+
+    def test_no_clock_means_time_zero(self):
+        bus = EventBus()
+        records = []
+        bus.subscribe(records.append)
+        bus.emit(Read(block=0, page=0))
+        assert records[0].ts == 0.0
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        records = []
+        bus.subscribe(records.append)
+        bus.unsubscribe(records.append)
+        bus.unsubscribe(records.append)  # absent: no-op
+        bus.emit(Read(block=0, page=0))
+        assert records == []
+
+    def test_subscriber_may_unsubscribe_mid_dispatch(self):
+        bus = EventBus()
+        seen = []
+
+        def second(record):
+            seen.append("second")
+
+        def first(record):
+            seen.append("first")
+            bus.unsubscribe(second)
+
+        bus.subscribe(first)
+        bus.subscribe(second)
+        bus.emit(Read(block=0, page=0))
+        # The in-flight dispatch keeps its snapshot...
+        assert seen == ["first", "second"]
+        bus.emit(Read(block=0, page=0))
+        # ...and the next one observes the removal.
+        assert seen == ["first", "second", "first"]
+
+    def test_shard_views_share_subscribers(self):
+        bus = EventBus(clock=lambda: 1.0)
+        records = []
+        bus.subscribe(records.append)
+        shard1 = bus.for_shard(1, clock=lambda: 9.0)
+        shard1.emit(Erase(block=0, count=1))
+        bus.emit(Erase(block=0, count=2))
+        assert [(r.shard, r.ts) for r in records] == [(1, 9.0), (0, 1.0)]
+
+    def test_null_bus_is_falsy_and_inert(self):
+        assert not NullEventBus()
+        assert not NULL_BUS
+        assert bool(EventBus())
+        assert bool(EventBus().for_shard(3))
+        NULL_BUS.emit(Read(block=0, page=0))  # safe no-op
+        assert NULL_BUS.for_shard(2) is NULL_BUS
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_merge_adds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.counters["c"].value == 7
+
+    @pytest.mark.parametrize(
+        "agg,expected", [("sum", 7.0), ("max", 4.0), ("min", 3.0)]
+    )
+    def test_gauge_merge_applies_declared_aggregation(self, agg, expected):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g", agg=agg).set(3.0)
+        b.gauge("g", agg=agg).set(4.0)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.gauges["g"].value == expected
+
+    def test_gauge_merge_rejects_conflicting_aggregations(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g", agg="max").set(1.0)
+        b.gauge("g", agg="sum").set(1.0)
+        with pytest.raises(ValueError, match="conflicting"):
+            a.snapshot().merge(b.snapshot())
+
+    def test_histogram_observe_and_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (0.5, 3.0, 100.0):
+            a.histogram("h", buckets=(1.0, 5.0)).observe(value)
+        b.histogram("h", buckets=(1.0, 5.0)).observe(4.0)
+        merged = a.snapshot().merge(b.snapshot())
+        sample = merged.histograms["h"]
+        assert sample.counts == (1, 2, 1)  # <=1, <=5, +Inf
+        assert sample.count == 4
+        assert sample.sum == pytest.approx(107.5)
+
+    def test_histogram_merge_rejects_differing_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1)
+        b.histogram("h", buckets=(1.0, 3.0)).observe(1)
+        with pytest.raises(ValueError, match="differing buckets"):
+            a.snapshot().merge(b.snapshot())
+
+    def test_one_sided_metrics_pass_through(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only_a").inc(1)
+        b.gauge("only_b").set(2.0)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.counters["only_a"].value == 1
+        assert merged.gauges["only_b"].value == 2.0
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", help="a counter").inc(5)
+        registry.gauge("repro_g").set(1.5)
+        hist = registry.histogram("repro_h", buckets=(1.0, 5.0))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP repro_c_total a counter" in text
+        assert "# TYPE repro_c_total counter" in text
+        assert "repro_c_total 5" in text
+        assert "repro_g 1.5" in text
+        # Bucket counts are cumulative in the exposition format.
+        assert 'repro_h_bucket{le="1"} 1' in text
+        assert 'repro_h_bucket{le="5"} 2' in text
+        assert 'repro_h_bucket{le="+Inf"} 2' in text
+        assert "repro_h_sum 2.5" in text
+        assert "repro_h_count 2" in text
+        assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# Heatmaps
+# ----------------------------------------------------------------------
+class TestWearHeatmap:
+    def test_binning(self):
+        counts = [0, 2, 4, 6, 8, 10, 12, 14, 16, 18]
+        heatmap = WearHeatmap.from_counts(3.0, counts, bins=4)
+        assert heatmap.ts == 3.0
+        assert heatmap.num_blocks == 10
+        assert heatmap.bin_width == 3
+        assert heatmap.cells == (2.0, 8.0, 14.0, 18.0)
+        assert heatmap.min_count == 0
+        assert heatmap.max_count == 18
+        assert heatmap.total_erases == sum(counts)
+
+    def test_more_bins_than_blocks(self):
+        heatmap = WearHeatmap.from_counts(0.0, [5, 7], bins=64)
+        assert heatmap.bin_width == 1
+        assert heatmap.cells == (5.0, 7.0)
+
+    def test_empty_counts(self):
+        heatmap = WearHeatmap.from_counts(0.0, [], bins=8)
+        assert heatmap.cells == ()
+        assert heatmap.total_erases == 0
+
+    def test_as_dict_is_json_friendly(self):
+        heatmap = WearHeatmap.from_counts(1.0, [1, 2, 3], bins=2)
+        assert json.loads(json.dumps(heatmap.as_dict()))
+
+
+# ----------------------------------------------------------------------
+# Collector
+# ----------------------------------------------------------------------
+class TestMetricsCollector:
+    def test_event_to_metric_mapping(self):
+        bus = EventBus()
+        collector = MetricsCollector()
+        bus.subscribe(collector)
+        bus.emit(Erase(block=0, count=3))
+        bus.emit(Erase(block=1, count=1))
+        bus.emit(Program(block=0, page=0, lba=5))
+        bus.emit(Read(block=0, page=0))
+        bus.emit(GcStart(reason="free-space", victim=0))
+        bus.emit(GcEnd(reason="free-space", victim=0, copies=4, erases=1))
+        snapshot = collector.snapshot()
+        assert snapshot.counters["repro_flash_erases_total"].value == 2
+        assert snapshot.counters["repro_flash_programs_total"].value == 1
+        assert snapshot.counters["repro_flash_reads_total"].value == 1
+        assert snapshot.counters["repro_gc_passes_total"].value == 1
+        assert snapshot.counters["repro_gc_copied_pages_total"].value == 4
+        assert snapshot.gauges["repro_flash_max_block_erases"].value == 3
+
+    def test_per_shard_registries_merge_to_global(self):
+        bus = EventBus()
+        collector = MetricsCollector()
+        bus.subscribe(collector)
+        bus.for_shard(0).emit(Erase(block=0, count=2))
+        bus.for_shard(1).emit(Erase(block=0, count=5))
+        assert collector.shards == (0, 1)
+        shard0 = collector.shard_snapshot(0)
+        shard1 = collector.shard_snapshot(1)
+        assert shard0.counters["repro_flash_erases_total"].value == 1
+        assert shard1.counters["repro_flash_erases_total"].value == 1
+        merged = collector.snapshot()
+        assert merged.counters["repro_flash_erases_total"].value == 2
+        # Gauge uses max aggregation: the worst shard wins.
+        assert merged.gauges["repro_flash_max_block_erases"].value == 5
+
+    def test_swl_latency_histogram(self):
+        bus = EventBus()
+        collector = MetricsCollector()
+        bus.subscribe(collector)
+        bus.emit(SwlInvoke(findex=0, unevenness=3.0, ecnt=9, fcnt=3,
+                           latency_erases=2))
+        bus.emit(BetReset(resets=1, findex=4))
+        snapshot = collector.snapshot()
+        assert snapshot.counters["repro_swl_invocations_total"].value == 1
+        assert snapshot.counters["repro_bet_resets_total"].value == 1
+        assert snapshot.gauges["repro_swl_unevenness"].value == 3.0
+        hist = snapshot.histograms["repro_swl_trigger_latency_erases"]
+        assert hist.count == 1
+        assert hist.sum == 2
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonlTraceExporter(path)
+        bus = EventBus(clock=lambda: 1.25)
+        bus.subscribe(exporter)
+        bus.emit(Erase(block=2, count=9))
+        bus.for_shard(3).emit(Read(block=0, page=1))
+        exporter.close()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert exporter.records_written == 2
+        assert lines[0] == {"ts": 1.25, "shard": 0, "kind": "erase",
+                            "block": 2, "count": 9}
+        assert lines[1]["shard"] == 3
+        assert lines[1]["kind"] == "read"
+
+    def test_chrome_trace_round_trips_and_pairs_gc(self, tmp_path):
+        exporter = ChromeTraceExporter("unit")
+        bus = EventBus(clock=lambda: 2.0)
+        bus.subscribe(exporter)
+        bus.emit(GcStart(reason="free-space", victim=7))
+        bus.emit(GcEnd(reason="free-space", victim=7, copies=3, erases=1))
+        bus.emit(SwlInvoke(findex=1, unevenness=2.0, ecnt=4, fcnt=2,
+                           latency_erases=0))
+        path = tmp_path / "trace.chrome.json"
+        exporter.dump(path)
+        document = json.load(open(path))
+        events = document["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert "B" in phases and "E" in phases and "i" in phases
+        begin = next(e for e in events if e["ph"] == "B")
+        # Timestamps are microseconds of simulated time.
+        assert begin["ts"] == pytest.approx(2.0 * 1e6)
+        assert begin["name"] == "GC free-space"
+
+    def test_log_exporter_routes_channels(self, caplog):
+        bus = EventBus()
+        bus.subscribe(LogExporter())
+        with caplog.at_level(logging.INFO, logger="repro"):
+            bus.emit(SwlInvoke(findex=0, unevenness=2.0, ecnt=4, fcnt=2,
+                               latency_erases=0))
+        assert any(r.name == "repro.leveler" for r in caplog.records)
+
+
+# ----------------------------------------------------------------------
+# Chip instrumentation and listener lifecycle
+# ----------------------------------------------------------------------
+class TestChipInstrumentation:
+    def test_chip_emits_program_read_erase(self):
+        flash = NandFlash(MLC2_TINY)
+        bus = EventBus()
+        records = []
+        bus.subscribe(records.append)
+        flash.attach_bus(bus)
+        flash.program(0, 0, lba=5)
+        flash.read(0, 0)
+        flash.erase(0)
+        kinds = [r.event.kind for r in records]
+        assert kinds == ["program", "read", "erase"]
+        assert records[0].event.payload() == {"block": 0, "page": 0, "lba": 5}
+        assert records[2].event.payload() == {"block": 0, "count": 1}
+
+    def test_erase_event_precedes_listener_work(self):
+        """SWL work an erase listener triggers must trace causally after."""
+        flash = NandFlash(MLC2_TINY)
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda record: order.append(record.event.kind))
+        flash.attach_bus(bus)
+        flash.add_erase_listener(lambda block: order.append("listener"))
+        flash.erase(0)
+        assert order == ["erase", "listener"]
+
+    def test_null_bus_normalises_to_none(self):
+        flash = NandFlash(MLC2_TINY)
+        flash.attach_bus(NULL_BUS)
+        assert flash._obs is None
+        flash.attach_bus(EventBus())
+        assert flash._obs is not None
+        flash.attach_bus(None)
+        assert flash._obs is None
+
+
+class TestEraseListenerLifecycle:
+    def test_remove_is_idempotent(self):
+        flash = NandFlash(MLC2_TINY)
+        calls = []
+        listener = calls.append
+        flash.add_erase_listener(listener)
+        flash.remove_erase_listener(listener)
+        flash.remove_erase_listener(listener)  # double detach: no-op
+        flash.erase(0)
+        assert calls == []
+
+    def test_remove_absent_listener_is_noop(self):
+        flash = NandFlash(MLC2_TINY)
+        flash.remove_erase_listener(lambda block: None)
+
+    def test_removal_during_dispatch_keeps_snapshot(self):
+        flash = NandFlash(MLC2_TINY)
+        fired = []
+
+        def second(block):
+            fired.append("second")
+
+        def first(block):
+            fired.append("first")
+            flash.remove_erase_listener(second)
+
+        flash.add_erase_listener(first)
+        flash.add_erase_listener(second)
+        flash.erase(0)
+        # In-flight dispatch iterates its pre-removal snapshot.
+        assert fired == ["first", "second"]
+        flash.erase(1)
+        assert fired == ["first", "second", "first"]
+
+    def test_clear_drops_all_listeners(self):
+        flash = NandFlash(MLC2_TINY)
+        calls = []
+        flash.add_erase_listener(lambda block: calls.append(block))
+        flash.clear_erase_listeners()
+        flash.erase(0)
+        assert calls == []
+
+
+# ----------------------------------------------------------------------
+# The off path: disabled telemetry costs nothing
+# ----------------------------------------------------------------------
+class _CountingEvent:
+    """Stands in for an event class; counts every instantiation."""
+
+    instances = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).instances += 1
+
+
+class TestDisabledPath:
+    def test_disabled_stack_emits_and_allocates_nothing(self, monkeypatch):
+        _CountingEvent.instances = 0
+        for module, names in (
+            (chip_module, ("ReadEvent", "ProgramEvent", "EraseEvent")),
+            (ftl_base_module, ("GcStart", "GcEnd", "Recovery")),
+        ):
+            for name in names:
+                monkeypatch.setattr(module, name, _CountingEvent)
+        stack = build_stack(MLC2_TINY, "ftl", SWLConfig(threshold=20, k=0))
+        pages = stack.layer.num_logical_pages
+        for index in range(3000):
+            stack.layer.write(index % pages)
+            stack.layer.read(index % pages)
+        assert stack.total_erases() > 0  # GC certainly ran...
+        assert _CountingEvent.instances == 0  # ...without one event object
+
+    def test_enabled_stack_does_emit(self):
+        bus = EventBus()
+        records = []
+        bus.subscribe(records.append)
+        stack = build_stack(
+            MLC2_TINY, "ftl", SWLConfig(threshold=20, k=0), bus=bus
+        )
+        pages = stack.layer.num_logical_pages
+        for index in range(3000):
+            stack.layer.write(index % pages)
+        kinds = {record.event.kind for record in records}
+        assert {"program", "erase", "gc_start", "gc_end"} <= kinds
+        # Timestamps track the device's simulated busy time.
+        assert records[-1].ts == pytest.approx(stack.mtd.busy_time)
+
+
+# ----------------------------------------------------------------------
+# Engine heatmaps and end-to-end equivalence
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_run():
+    spec = ExperimentSpec(
+        "ftl", scaled_mlc2_geometry(24, scale=100),
+        SWLConfig(threshold=20, k=2), seed=3,
+    )
+    params = workload_params_for(spec, duration=1800.0, seed=3)
+    return spec, make_base_trace(params)
+
+
+class TestEngineHeatmaps:
+    def test_enabled_run_attaches_at_least_two_heatmaps(self, small_run):
+        spec, trace = small_run
+        telemetry = Telemetry(heatmap_interval=600.0, heatmap_bins=8)
+        result = run_fixed_horizon(spec, trace, 3600.0, telemetry=telemetry)
+        assert len(result.heatmaps) >= 2
+        assert all(len(h.cells) <= 8 for h in result.heatmaps)
+        # Monotonic capture times, final snapshot at end of run.
+        times = [h.ts for h in result.heatmaps]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(result.sim_time)
+        assert result.heatmaps[-1].total_erases == result.total_erases
+        assert "heatmap_snapshots" in result.as_dict()
+
+    def test_disabled_run_attaches_none(self, small_run):
+        spec, trace = small_run
+        result = run_fixed_horizon(spec, trace, 3600.0)
+        assert result.heatmaps == []
+        assert "heatmap_snapshots" not in result.as_dict()
+
+    def test_heatmap_decimation_bounds_series(self):
+        simulator = Simulator(
+            build_stack(MLC2_TINY, "ftl"),
+            heatmap_interval=1.0, max_heatmaps=4,
+        )
+        for _ in range(40):
+            simulator.clock += 1.0
+            simulator._take_heatmap()
+        assert len(simulator.heatmaps) <= 4
+        assert simulator.heatmap_interval > 1.0
+
+
+class TestTelemetryEquivalence:
+    def test_single_channel_result_identical_minus_telemetry_keys(
+        self, small_run
+    ):
+        spec, trace = small_run
+        plain = run_fixed_horizon(spec, trace, 3600.0)
+        telemetry = Telemetry(heatmap_interval=600.0)
+        traced = run_fixed_horizon(spec, trace, 3600.0, telemetry=telemetry)
+        off, on = plain.as_dict(), traced.as_dict()
+        on.pop("heatmap_snapshots")
+        assert off == on
+
+    def test_metrics_agree_with_result_counters(self, small_run):
+        spec, trace = small_run
+        telemetry = Telemetry()
+        result = run_fixed_horizon(spec, trace, 3600.0, telemetry=telemetry)
+        snapshot = telemetry.snapshot()
+        assert (snapshot.counters["repro_flash_erases_total"].value
+                == result.total_erases)
+        assert (snapshot.counters["repro_gc_copied_pages_total"].value
+                == result.live_page_copies)
+        assert snapshot.counters["repro_swl_invocations_total"].value >= 1
+
+    def test_multi_channel_metrics_merge_exactly(self, small_run):
+        spec, trace = small_run
+        array_spec = ExperimentSpec(
+            spec.driver, spec.geometry, spec.swl, seed=spec.seed, channels=2,
+        )
+        telemetry = Telemetry()
+        result = run_fixed_horizon(
+            array_spec, trace, 3600.0, telemetry=telemetry
+        )
+        assert telemetry.collector.shards == (0, 1)
+        merged = telemetry.snapshot()
+        assert (merged.counters["repro_flash_erases_total"].value
+                == result.total_erases)
+        per_shard = [
+            telemetry.collector.shard_snapshot(shard)
+            .counters["repro_flash_erases_total"].value
+            for shard in telemetry.collector.shards
+        ]
+        assert sum(per_shard) == result.total_erases
+
+
+class TestTelemetryFacade:
+    def test_to_directory_writes_artifact_set(self, tmp_path, small_run):
+        spec, trace = small_run
+        telemetry = Telemetry.to_directory(
+            tmp_path / "out", heatmap_interval=600.0
+        )
+        run_fixed_horizon(spec, trace, 3600.0, telemetry=telemetry)
+        files = telemetry.finish()
+        assert set(files) == {"jsonl", "chrome", "prometheus"}
+        assert telemetry.jsonl.records_written > 0
+        first = json.loads(
+            files["jsonl"].read_text().splitlines()[0]
+        )
+        assert {"ts", "shard", "kind"} <= set(first)
+        document = json.load(open(files["chrome"]))
+        assert document["traceEvents"]
+        assert "repro_flash_erases_total" in files["prometheus"].read_text()

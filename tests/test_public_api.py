@@ -28,6 +28,7 @@ class TestTopLevelExports:
             "repro.analysis",
             "repro.util",
             "repro.cli",
+            "repro.obs",
         ],
     )
     def test_subpackage_all_resolves(self, module):
