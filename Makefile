@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick bench-trajectory examples clean
+.PHONY: install test bench bench-quick bench-trajectory bench-hotpath examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,10 +22,16 @@ bench-log:
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_trajectory.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py
 
 # Just the per-PR trajectory point (BENCH_PR.json), without the suite.
 bench-trajectory:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_trajectory.py
+
+# Hot-path microbenches + fixed-seed golden replay check.
+bench-hotpath:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --check-golden
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done

@@ -36,12 +36,16 @@ from repro.flash.chip import FirstFailure
 from repro.flash.errors import PowerLossError
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION
 from repro.ftl.factory import StorageStack, _count_power_loss_pages, build_stack
+from repro.obs.heatmap import WearHeatmap
 from repro.util.rng import make_rng, spawn_rng
 
 if TYPE_CHECKING:
     from repro.fault.plan import FaultPlan
     from repro.flash.geometry import FlashGeometry
     from repro.obs.bus import BusLike
+    # Annotation-only: a runtime import would initialize repro.sim, whose
+    # engine reaches back into repro.ftl.factory (imported above).
+    from repro.sim.metrics import EraseDistribution
 
 
 class DeviceArray:
@@ -169,6 +173,53 @@ class DeviceArray:
 
     def shard_erase_counts(self) -> list[list[int]]:
         return [list(shard.erase_counts) for shard in self.shards]
+
+    def erase_distribution(self) -> EraseDistribution:
+        """Array-wide wear summary: exact integer merge of shard moments.
+
+        Each shard snapshot is O(1) from its accumulator and the merge
+        sums exact integer moments, so the result equals
+        ``EraseDistribution.from_counts`` over the concatenated counts
+        bit for bit at O(num_shards) cost.
+        """
+        from repro.sim.metrics import EraseDistribution
+
+        return EraseDistribution.merge(
+            [shard.erase_distribution() for shard in self.shards]
+        )
+
+    def shard_erase_distributions(self) -> list[EraseDistribution]:
+        return [shard.erase_distribution() for shard in self.shards]
+
+    def wear_heatmap(self, ts: float, bins: int = 64) -> WearHeatmap:
+        """Array-wide heatmap over the concatenated block space.
+
+        The global bin width comes from the total block count.  When it
+        divides the (uniform) shard size, bin boundaries never straddle
+        shards and the per-shard incremental bin sums concatenate into
+        the global grid at O(bins) cost; otherwise fall back to the
+        O(num_blocks) scan, which is always correct.
+        """
+        shard_blocks = len(self.shards[0].erase_counts)
+        num_blocks = shard_blocks * len(self.shards)
+        width = max(1, -(-num_blocks // bins))
+        if shard_blocks % width:
+            return WearHeatmap.from_counts(ts, self.erase_counts, bins)
+        sums: list[int] = []
+        for shard in self.shards:
+            wear = shard.flash.wear
+            wear.ensure_bins(width, shard.flash.erase_counts)
+            sums.extend(wear.bin_sums)
+        accumulators = [shard.flash.wear for shard in self.shards]
+        return WearHeatmap.from_bin_sums(
+            ts,
+            num_blocks=num_blocks,
+            bin_width=width,
+            bin_sums=sums,
+            min_count=min(acc.minimum for acc in accumulators),
+            max_count=max(acc.maximum for acc in accumulators),
+            total_erases=sum(acc.total for acc in accumulators),
+        )
 
     def total_erases(self) -> int:
         return sum(shard.total_erases() for shard in self.shards)

@@ -66,6 +66,14 @@ class WearLevelingHost(Protocol):
         ...
 
 
+#: ``findex_history`` length bound.  When recording would grow past it,
+#: every other retained entry is dropped and the recording stride doubles
+#: — the same decimation idiom as the engine's ``WearSample`` timeline —
+#: so the history holds at most this many entries over any horizon while
+#: keeping a uniformly thinned view of the whole run.
+MAX_FINDEX_HISTORY = 4096
+
+
 @dataclass
 class SWLStats:
     """Bookkeeping of everything the SW Leveler did."""
@@ -77,7 +85,27 @@ class SWLStats:
     swl_erases: int = 0            #: block erases attributable to SWL
     swl_copies: int = 0            #: live-page copies attributable to SWL
     bet_resets: int = 0            #: completed resetting intervals
+    #: Selected flag indices, decimated to ``MAX_FINDEX_HISTORY`` entries.
     findex_history: list[int] = field(default_factory=list)
+    #: EraseBlockSet calls observed (recorded or thinned away).
+    findex_seen: int = 0
+    #: Record every ``findex_stride``-th selection; doubles on decimation.
+    findex_stride: int = 1
+
+    def record_findex(self, findex: int) -> None:
+        """Append to ``findex_history`` under the decimation bound.
+
+        Memory stays O(``MAX_FINDEX_HISTORY``) for arbitrarily long runs:
+        at the cap, older entries thin first and later selections are
+        recorded at the doubled stride, mirroring the timeline decimation
+        in :class:`~repro.sim.engine.Simulator`.
+        """
+        if self.findex_seen % self.findex_stride == 0:
+            self.findex_history.append(findex)
+            if len(self.findex_history) >= MAX_FINDEX_HISTORY:
+                del self.findex_history[1::2]
+                self.findex_stride *= 2
+        self.findex_seen += 1
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -288,6 +316,10 @@ class SWLeveler:
         the BET fills and resets.  Returns ``True`` if anything was done.
         """
         if self.bet.fcnt == 0:                       # step 1
+            # Every procedure exit must release the deferred-trigger
+            # latency clock; leaving it armed here inflated the latency
+            # reported by the next SwlInvoke event.
+            self._deferred_at_ecnt = None
             return False
         self._in_procedure = True
         did_work = False
@@ -355,7 +387,7 @@ class SWLeveler:
         erases_after, copies_after = self.host.swl_cost_probe()
         self.stats.swl_erases += erases_after - erases_before
         self.stats.swl_copies += copies_after - copies_before
-        self.stats.findex_history.append(findex)
+        self.stats.record_findex(findex)
         if recycled:
             self.stats.forced_recycles += 1
         if not self.bet.is_set(findex):

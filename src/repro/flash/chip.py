@@ -41,6 +41,7 @@ from repro.obs.events import Read as ReadEvent
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.fault.injector import FaultInjector
     from repro.obs.bus import BusLike
+    from repro.sim.metrics import EraseDistribution, WearAccumulator
 
 # Page states, stored one byte per page.
 PAGE_FREE = 0
@@ -114,6 +115,15 @@ class NandFlash:
         self._block_tags: dict[int, str] = {}            # erase-unit headers
         self._data: dict[int, bytes] = {}                # page index -> payload
         self.erase_counts = [0] * geometry.num_blocks
+        # Deferred import: repro.sim pulls in the FTL factory, which pulls
+        # in this module — a runtime import here is safe in every order
+        # because by construction time this module is fully initialized.
+        from repro.sim.metrics import WearAccumulator
+
+        #: Running erase-count distribution, maintained O(1) per erase so
+        #: wear sampling never rescans ``erase_counts`` (see
+        #: :class:`~repro.sim.metrics.WearAccumulator`).
+        self.wear: WearAccumulator = WearAccumulator(geometry.num_blocks)
         self.counters = OpCounters()
         self.worn_blocks: set[int] = set()
         self.first_failure: FirstFailure | None = None
@@ -288,7 +298,9 @@ class NandFlash:
         self._check_block(block)
         if self._injector is not None:
             self._injector.on_erase(block, self.erase_counts[block])
-        self.erase_counts[block] += 1
+        previous = self.erase_counts[block]
+        self.erase_counts[block] = previous + 1
+        self.wear.record_erase(block, previous)
         self.counters.erases += 1
         if self.erase_counts[block] > self.geometry.endurance:
             if block not in self.worn_blocks:

@@ -31,6 +31,7 @@ from repro.util.diagnostics import fault_log
 
 if TYPE_CHECKING:
     from repro.obs.bus import BusLike
+    from repro.sim.metrics import EraseDistribution
 
 #: The paper's garbage-collection trigger: GC runs "when the percentage of
 #: free blocks was under 0.2% of the entire flash-memory capacity".
@@ -357,6 +358,15 @@ class TranslationLayer(ABC):
     def erase_counts(self) -> list[int]:
         """Per-block erase counts (the distribution behind paper Table 4)."""
         return self.mtd.erase_counts
+
+    def erase_distribution(self) -> "EraseDistribution":
+        """O(1) summary of :attr:`erase_counts` (avg/dev/max/min/total).
+
+        Reads the chip's incremental :class:`~repro.sim.metrics.
+        WearAccumulator` instead of rescanning the per-block counts;
+        values are bit-identical to ``EraseDistribution.from_counts``.
+        """
+        return self.mtd.flash.wear.distribution()
 
     def utilization(self) -> float:
         """Fraction of physical pages currently holding valid data."""

@@ -26,12 +26,17 @@ from repro.flash.mtd import MtdDevice
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
 from repro.ftl.nftl import NFTL
 from repro.ftl.page_mapping import PageMappingFTL
+from repro.obs.heatmap import WearHeatmap
 
 if TYPE_CHECKING:
     from repro.array.device import DeviceArray
     from repro.fault.injector import FaultInjector
     from repro.fault.plan import FaultPlan
     from repro.obs.bus import BusLike
+    # Annotation-only: importing repro.sim.metrics at runtime would
+    # initialize the repro.sim package, whose engine imports this module
+    # (annotations stay lazy via `from __future__ import annotations`).
+    from repro.sim.metrics import EraseDistribution
 
 _DRIVERS: dict[str, type[TranslationLayer]] = {
     "ftl": PageMappingFTL,
@@ -106,6 +111,12 @@ class StorageBackend(Protocol):
     def erase_counts(self) -> list[int]: ...
 
     def shard_erase_counts(self) -> list[list[int]]: ...
+
+    def erase_distribution(self) -> EraseDistribution: ...
+
+    def shard_erase_distributions(self) -> list[EraseDistribution]: ...
+
+    def wear_heatmap(self, ts: float, bins: int = 64) -> WearHeatmap: ...
 
     def total_erases(self) -> int: ...
 
@@ -203,6 +214,34 @@ class StorageStack:
 
     def shard_erase_counts(self) -> list[list[int]]:
         return [self.flash.erase_counts]
+
+    def erase_distribution(self) -> EraseDistribution:
+        """O(1) wear summary from the chip's incremental accumulator."""
+        return self.flash.wear.distribution()
+
+    def shard_erase_distributions(self) -> list[EraseDistribution]:
+        return [self.flash.wear.distribution()]
+
+    def wear_heatmap(self, ts: float, bins: int = 64) -> WearHeatmap:
+        """O(bins) heatmap snapshot from incrementally maintained bin sums.
+
+        The first call (or a ``bins`` change) pays one O(num_blocks)
+        rebuild via :meth:`~repro.sim.metrics.WearAccumulator.ensure_bins`;
+        every later snapshot reads the live sums.
+        """
+        wear = self.flash.wear
+        num_blocks = self.flash.geometry.num_blocks
+        width = max(1, -(-num_blocks // bins))
+        wear.ensure_bins(width, self.flash.erase_counts)
+        return WearHeatmap.from_bin_sums(
+            ts,
+            num_blocks=num_blocks,
+            bin_width=width,
+            bin_sums=wear.bin_sums,
+            min_count=wear.minimum,
+            max_count=wear.maximum,
+            total_erases=wear.total,
+        )
 
     def total_erases(self) -> int:
         return self.flash.total_erases()

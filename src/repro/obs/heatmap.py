@@ -45,6 +45,46 @@ class WearHeatmap:
         return cls(ts, num_blocks, width, cells,
                    min(counts), max(counts), sum(counts))
 
+    @classmethod
+    def from_bin_sums(
+        cls,
+        ts: float,
+        *,
+        num_blocks: int,
+        bin_width: int,
+        bin_sums: Sequence[int],
+        min_count: int,
+        max_count: int,
+        total_erases: int,
+    ) -> "WearHeatmap":
+        """Build a snapshot from pre-aggregated per-bin erase-count sums.
+
+        The O(bins) companion of :meth:`from_counts` for callers that
+        maintain the bin sums incrementally (see
+        :class:`~repro.sim.metrics.WearAccumulator`).  Cell values are
+        the same ``round(sum / size, 3)`` means — the sums are exact
+        integers either way, so both constructors produce identical
+        cells; the last cell covers the short tail
+        ``num_blocks - (len(bin_sums) - 1) * bin_width``.
+        """
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        if num_blocks == 0:
+            return cls(ts, 0, 1, (), 0, 0, 0)
+        expected = -(-num_blocks // bin_width)
+        if len(bin_sums) != expected:
+            raise ValueError(
+                f"expected {expected} bin sums for {num_blocks} blocks at "
+                f"width {bin_width}, got {len(bin_sums)}"
+            )
+        tail = num_blocks - (len(bin_sums) - 1) * bin_width
+        cells = tuple(
+            round(total / (bin_width if i < len(bin_sums) - 1 else tail), 3)
+            for i, total in enumerate(bin_sums)
+        )
+        return cls(ts, num_blocks, bin_width, cells,
+                   min_count, max_count, total_erases)
+
     def as_dict(self) -> dict[str, object]:
         """JSON-friendly form used by ``SimResult.as_dict``."""
         return {

@@ -16,7 +16,7 @@ multi-channel :class:`~repro.array.DeviceArray` alike.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.flash.errors import PowerLossError, TranslationError
 from repro.ftl.factory import StorageBackend
@@ -229,6 +229,12 @@ class Simulator:
         self.first_failure_clock: float | None = None
         self._spp = stack.sectors_per_page
         self._logical_pages = stack.num_logical_pages
+        # Reusable page-span buffers: the replay loop would otherwise
+        # materialize a fresh list per request (millions over a 10-year
+        # horizon).  Safe because backends consume the batch within the
+        # call and never keep a reference.
+        self._single_page = [0]
+        self._span_buffer: list[int] = []
 
     # ------------------------------------------------------------------
     def _page_span(self, request: Request) -> range:
@@ -255,12 +261,35 @@ class Simulator:
         backend = self.stack
         self.clock = max(self.clock, request.time)
         is_write = request.is_write()
+        first = request.lba // self._spp
+        last = (request.end_lba - 1) // self._spp
+        if not self.lba_modulo and last >= self._logical_pages:
+            raise TranslationError(
+                f"request [{request.lba}, {request.end_lba}) exceeds the "
+                f"logical space of {self._logical_pages} pages"
+            )
         if not is_write and self.skip_reads:
-            self.pages_read += len(self._page_span(request))
+            self.pages_read += last - first + 1
         else:
-            lpns: list[int] | range = self._page_span(request)
-            if self.lba_modulo:
-                lpns = [lpn % self._logical_pages for lpn in lpns]
+            lpns: Sequence[int]
+            if first == last:
+                # Single-page fast path — the dominant request shape in
+                # the paper's traces.
+                buffer = self._single_page
+                buffer[0] = (
+                    first % self._logical_pages if self.lba_modulo else first
+                )
+                lpns = buffer
+            elif not self.lba_modulo or last < self._logical_pages:
+                # In-range span: the modulo is the identity, so a lazy
+                # range replaces the per-page list materialization.
+                lpns = range(first, last + 1)
+            else:
+                buffer = self._span_buffer
+                buffer.clear()
+                pages = self._logical_pages
+                buffer.extend(lpn % pages for lpn in range(first, last + 1))
+                lpns = buffer
             try:
                 if is_write:
                     self.pages_written += backend.write_pages(lpns)
@@ -317,7 +346,10 @@ class Simulator:
         return self.result(label=label)
 
     def _take_sample(self) -> None:
-        distribution = EraseDistribution.from_counts(self.stack.erase_counts)
+        # O(1): reads the backend's incremental wear accumulator instead
+        # of rescanning every block's erase count (bit-identical values;
+        # see repro.sim.metrics).
+        distribution = self.stack.erase_distribution()
         self.timeline.append(
             WearSample(
                 time=self.clock,
@@ -337,10 +369,9 @@ class Simulator:
         self._next_sample = self.clock + self.sample_interval
 
     def _take_heatmap(self) -> None:
+        # O(bins) after the backend's first snapshot seeds its bin sums.
         self.heatmaps.append(
-            WearHeatmap.from_counts(
-                self.clock, self.stack.erase_counts, bins=self.heatmap_bins
-            )
+            self.stack.wear_heatmap(self.clock, bins=self.heatmap_bins)
         )
         assert self.heatmap_interval is not None
         if self.max_heatmaps is not None and len(self.heatmaps) >= self.max_heatmaps:
@@ -357,16 +388,21 @@ class Simulator:
         :meth:`~repro.sim.metrics.EraseDistribution.merge`.
         """
         backend = self.stack
+        if self.sample_interval is not None and (
+            not self.timeline or self.timeline[-1].time < self.clock
+        ):
+            # Close the timeline with the end-of-run wear state, exactly
+            # as the heatmap series below: the timeline used to end one
+            # interval short of sim_time, hiding the final wear picture
+            # from consumers.
+            self._take_sample()
         if self.heatmap_interval is not None and (
             not self.heatmaps or self.heatmaps[-1].ts < self.clock
         ):
             # Close the series with the end-of-run wear picture.
             self._take_heatmap()
         layer_stats = backend.layer_stats()
-        shard_distributions = [
-            EraseDistribution.from_counts(counts)
-            for counts in backend.shard_erase_counts()
-        ]
+        shard_distributions = backend.shard_erase_distributions()
         if len(shard_distributions) > 1:
             erase_distribution = EraseDistribution.merge(shard_distributions)
         else:

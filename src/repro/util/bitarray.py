@@ -4,10 +4,24 @@ The Block Erasing Table of the SW Leveler (paper Section 3.2) is "a bit
 array, in which each bit corresponds to a set of 2^k contiguous blocks".
 RAM on a flash controller is scarce, so the paper sizes the table in single
 bits (Table 1: a 4 GB SLC device needs a 512-byte BET at k=3).  This module
-provides the backing store with exactly that footprint: one Python
-``bytearray`` with eight flags per byte.
+provides the backing store with exactly that footprint — ``nbytes`` reports
+``ceil(size / 8)``, the quantity of Table 1 — while the *simulator* keeps
+the flags in a single Python ``int`` so every bulk operation runs
+word-at-a-time in C instead of bit-by-bit in Python:
 
-The class also supports the operations the BET needs beyond get/set:
+* ``popcount`` is one ``int.bit_count()`` call (the ``fcnt`` reference
+  check that used to walk a 256-entry table per byte);
+* ``next_zero`` inverts the word and isolates the lowest zero flag with
+  two's-complement arithmetic (``x & -x``), skipping any run of set flags
+  in one step instead of one Python iteration per bit;
+* ``fill``/``reset``/``zero_indices``/``all_set`` are single word ops.
+
+The bit layout is frozen by the serialization format: bit ``i`` lives in
+byte ``i >> 3`` at position ``i & 7``, which is exactly the little-endian
+byte order of ``int.to_bytes``, so :meth:`to_bytes` output is unchanged
+from the historical ``bytearray`` implementation byte for byte.
+
+The class supports the operations the BET needs beyond get/set:
 population count (``fcnt`` maintenance checks), scanning for the next zero
 bit from a cyclic cursor (Algorithm 1, steps 9-10), and byte-exact
 serialization (Section 3.2 proposes saving the BET to flash at shutdown).
@@ -17,11 +31,9 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
-
 
 class BitArray:
-    """Fixed-size array of bits stored eight-per-byte.
+    """Fixed-size array of bits backed by one arbitrary-precision word.
 
     Parameters
     ----------
@@ -39,13 +51,16 @@ class BitArray:
     1
     """
 
-    __slots__ = ("_size", "_bytes")
+    __slots__ = ("_size", "_word", "_mask")
 
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise ValueError(f"BitArray size must be positive, got {size}")
         self._size = size
-        self._bytes = bytearray((size + 7) // 8)
+        #: All flags as one int: bit ``i`` of the word is flag ``i``.
+        self._word = 0
+        #: ``size`` low bits set — the fully-populated table.
+        self._mask = (1 << size) - 1
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -62,7 +77,7 @@ class BitArray:
 
     def __getitem__(self, index: int) -> bool:
         index = self._check_index(index)
-        return bool(self._bytes[index >> 3] & (1 << (index & 7)))
+        return bool((self._word >> index) & 1)
 
     def __setitem__(self, index: int, value: bool) -> None:
         if value:
@@ -71,13 +86,14 @@ class BitArray:
             self.clear(index)
 
     def __iter__(self) -> Iterator[bool]:
+        word = self._word
         for index in range(self._size):
-            yield self[index]
+            yield bool((word >> index) & 1)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitArray):
             return NotImplemented
-        return self._size == other._size and self._bytes == other._bytes
+        return self._size == other._size and self._word == other._word
 
     def __repr__(self) -> str:
         shown = "".join("1" if bit else "0" for bit in list(self)[:64])
@@ -95,52 +111,42 @@ class BitArray:
         to maintain ``fcnt`` without a second lookup.
         """
         index = self._check_index(index)
-        mask = 1 << (index & 7)
-        byte_index = index >> 3
-        if self._bytes[byte_index] & mask:
+        bit = 1 << index
+        if self._word & bit:
             return False
-        self._bytes[byte_index] |= mask
+        self._word |= bit
         return True
 
     def clear(self, index: int) -> bool:
         """Clear bit ``index``; returns ``True`` when it flipped from 1 to 0."""
         index = self._check_index(index)
-        mask = 1 << (index & 7)
-        byte_index = index >> 3
-        if not self._bytes[byte_index] & mask:
+        bit = 1 << index
+        if not self._word & bit:
             return False
-        self._bytes[byte_index] &= ~mask
+        self._word &= ~bit
         return True
 
     def reset(self) -> None:
         """Clear every bit (start of a new resetting interval)."""
-        for i in range(len(self._bytes)):
-            self._bytes[i] = 0
+        self._word = 0
 
     def fill(self) -> None:
         """Set every bit (used by tests and crash-recovery checks)."""
-        for i in range(len(self._bytes)):
-            self._bytes[i] = 0xFF
-        self._mask_tail()
-
-    def _mask_tail(self) -> None:
-        tail_bits = self._size & 7
-        if tail_bits:
-            self._bytes[-1] &= (1 << tail_bits) - 1
+        self._word = self._mask
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def popcount(self) -> int:
         """Number of set bits (the reference value for ``fcnt``)."""
-        return sum(_POPCOUNT[b] for b in self._bytes)
+        return self._word.bit_count()
 
     def all_set(self) -> bool:
         """``True`` when every flag is 1 (BET reset condition, Alg. 1 step 3)."""
-        return self.popcount() == self._size
+        return self._word == self._mask
 
     def any_set(self) -> bool:
-        return any(self._bytes)
+        return self._word != 0
 
     def next_zero(self, start: int) -> int | None:
         """Index of the first zero bit at or after ``start``, cyclically.
@@ -148,24 +154,47 @@ class BitArray:
         Implements the scan of Algorithm 1 steps 9-10: ``findex`` advances
         modulo the table size until a zero-valued flag is found.  Returns
         ``None`` when every bit is set (the caller then resets the table).
+
+        The scan is word-level: the inverted word has a 1 exactly at each
+        zero flag, and ``x & -x`` isolates its lowest set bit, so a run of
+        set flags of any length costs one shift instead of one Python loop
+        iteration per flag.
         """
         start = self._check_index(start)
-        for offset in range(self._size):
-            index = (start + offset) % self._size
-            if not self[index]:
-                return index
-        return None
+        inverted = self._word ^ self._mask
+        if not inverted:
+            return None
+        ahead = inverted >> start
+        if ahead:
+            return start + ((ahead & -ahead).bit_length() - 1)
+        wrapped = inverted & ((1 << start) - 1)
+        return (wrapped & -wrapped).bit_length() - 1
 
     def zero_indices(self) -> list[int]:
-        """All indices whose flag is still zero (candidate cold block sets)."""
-        return [i for i in range(self._size) if not self[i]]
+        """All indices whose flag is still zero (candidate cold block sets).
+
+        Costs O(number of zero flags), not O(size): each iteration strips
+        the lowest remaining zero flag from the inverted word.
+        """
+        indices: list[int] = []
+        remaining = self._word ^ self._mask
+        while remaining:
+            low = remaining & -remaining
+            indices.append(low.bit_length() - 1)
+            remaining ^= low
+        return indices
 
     # ------------------------------------------------------------------
     # Serialization (Section 3.2: save the BET to flash at shutdown)
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Byte-exact snapshot; ``len(result) == ceil(size / 8)``."""
-        return bytes(self._bytes)
+        """Byte-exact snapshot; ``len(result) == ceil(size / 8)``.
+
+        Little-endian word order puts bit ``i`` in byte ``i >> 3`` at
+        position ``i & 7`` — the same layout as the historical
+        ``bytearray`` backing store, so saved images stay compatible.
+        """
+        return self._word.to_bytes(self.nbytes, "little")
 
     @classmethod
     def from_bytes(cls, data: bytes, size: int) -> "BitArray":
@@ -180,18 +209,18 @@ class BitArray:
             raise ValueError(
                 f"expected {expected} bytes for a {size}-bit array, got {len(data)}"
             )
-        bits._bytes = bytearray(data)
-        tail_bits = size & 7
-        if tail_bits and bits._bytes[-1] >> tail_bits:
+        word = int.from_bytes(data, "little")
+        if word >> size:
             raise ValueError("padding bits beyond the declared size are set")
+        bits._word = word
         return bits
 
     def copy(self) -> "BitArray":
         clone = BitArray(self._size)
-        clone._bytes = bytearray(self._bytes)
+        clone._word = self._word
         return clone
 
     @property
     def nbytes(self) -> int:
         """RAM footprint in bytes — the quantity reported in paper Table 1."""
-        return len(self._bytes)
+        return (self._size + 7) // 8

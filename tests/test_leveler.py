@@ -247,3 +247,90 @@ class TestValidation:
     def test_repr_mentions_parameters(self):
         leveler, _ = make_leveler(threshold=7, k=0)
         assert "T=7" in repr(leveler)
+
+
+class TestDeferredTriggerLatency:
+    def test_fcnt_zero_procedure_exit_clears_latency_clock(self):
+        """Regression: ``run_procedure``'s ``fcnt == 0`` early return left
+        ``_deferred_at_ecnt`` armed, so the next ``SwlInvoke`` event
+        reported a stale, inflated trigger latency."""
+        events: list = []
+
+        class Bus:
+            def emit(self, event):
+                events.append(event)
+
+        leveler, _ = make_leveler(num_blocks=8, threshold=4)
+        leveler.attach_bus(Bus())
+        # Arm the deferred-latency clock: the trigger fires while the
+        # host driver has the leveler suspended mid-GC.
+        leveler.suspend()
+        for _ in range(4):
+            leveler.on_block_erased(0)
+        # The check defers on the first erase (threshold evaluation
+        # happens later, in maybe_run), so the clock armed at ecnt = 1.
+        assert leveler._deferred_at_ecnt == 1
+
+        # A crash-recovery restore of an empty BET image (or a global
+        # array coordinator) can enter SWL-Procedure with fcnt == 0; the
+        # early exit must release the latency clock like every other
+        # procedure exit.
+        leveler.bet.reset()
+        assert leveler.bet.fcnt == 0
+        assert leveler.run_procedure() is False
+        assert leveler._deferred_at_ecnt is None
+
+        # The next real run reports its own latency, not the stale gap.
+        leveler._deferred_check = False   # consumed by the direct entry
+        leveler.resume()
+        for _ in range(4):
+            leveler.on_block_erased(0)
+        invokes = [e for e in events if getattr(e, "kind", "") == "swl_invoke"]
+        assert invokes, "procedure should have run after resume"
+        assert invokes[-1].latency_erases == 0
+
+    def test_maybe_run_below_threshold_clears_latency_clock(self):
+        """The sibling exits in ``maybe_run`` already released the clock;
+        pin that behaviour so the invariant holds on every exit path."""
+        leveler, _ = make_leveler(num_blocks=8, threshold=100)
+        leveler.suspend()
+        leveler.on_block_erased(0)
+        leveler._note_deferred()
+        assert leveler._deferred_at_ecnt is not None
+        leveler.resume()          # dispatches; unevenness far below T
+        assert leveler._deferred_at_ecnt is None
+
+
+class TestFindexHistoryBound:
+    def test_history_is_bounded_by_decimation(self):
+        """Regression: ``findex_history`` grew without bound — one entry
+        per forced recycle over a 10-year horizon."""
+        from repro.core.leveler import MAX_FINDEX_HISTORY, SWLStats
+
+        stats = SWLStats()
+        for index in range(10 * MAX_FINDEX_HISTORY):
+            stats.record_findex(index % 97)
+        assert len(stats.findex_history) <= MAX_FINDEX_HISTORY
+        assert stats.findex_seen == 10 * MAX_FINDEX_HISTORY
+        assert stats.findex_stride > 1
+
+    def test_short_history_records_everything(self):
+        from repro.core.leveler import SWLStats
+
+        stats = SWLStats()
+        for index in range(100):
+            stats.record_findex(index)
+        assert stats.findex_history == list(range(100))
+        assert stats.findex_stride == 1
+
+    def test_decimation_keeps_uniform_thinning(self):
+        """After decimation the survivors are every other prior entry, so
+        the history stays a uniformly thinned view of the whole run."""
+        from repro.core.leveler import MAX_FINDEX_HISTORY, SWLStats
+
+        stats = SWLStats()
+        for index in range(MAX_FINDEX_HISTORY):
+            stats.record_findex(index % 97)
+        expected = [i % 97 for i in range(MAX_FINDEX_HISTORY)][::2]
+        assert stats.findex_history == expected
+        assert stats.findex_stride == 2

@@ -34,7 +34,44 @@ class TestSampling:
                                StopCondition(max_requests=2_000))
         times = [sample.time for sample in result.timeline]
         assert len(times) >= 10
-        assert all(b - a >= 100.0 - 1e-9 for a, b in zip(times, times[1:]))
+        # The final sample closes the series at end of run and may land
+        # closer than one interval to its predecessor; every earlier gap
+        # is at least the sampling interval.
+        interior = times[:-1]
+        assert all(
+            b - a >= 100.0 - 1e-9 for a, b in zip(interior, interior[1:])
+        )
+        assert times[-1] == result.sim_time
+
+    def test_timeline_closes_at_end_of_run(self, small_geometry):
+        """Regression: the timeline used to stop one interval short of
+        sim_time while the heatmap series was closed — consumers missed
+        the final wear state."""
+        simulator = Simulator(
+            build_stack(small_geometry, "ftl"), sample_interval=10.0
+        )
+        # 100 requests at 1 s spacing: periodic samples land at t <= 99,
+        # and the closing sample must pin the series to t = 99 exactly.
+        result = simulator.run(write_stream(100),
+                               StopCondition(max_requests=100))
+        assert result.timeline, "sampling enabled but timeline empty"
+        assert result.timeline[-1].time == result.sim_time
+        # The closing sample reflects the true end-of-run wear.
+        assert result.timeline[-1].total_erases == result.total_erases
+
+    def test_timeline_close_does_not_duplicate(self, small_geometry):
+        """When the last periodic sample already landed at sim_time the
+        close must not append a duplicate."""
+        simulator = Simulator(
+            build_stack(small_geometry, "ftl"), sample_interval=10.0
+        )
+        result = simulator.run(write_stream(100),
+                               StopCondition(max_requests=100))
+        times = [sample.time for sample in result.timeline]
+        assert len(times) == len(set(times))
+        # result() is idempotent for the closing sample.
+        again = simulator.result()
+        assert [s.time for s in again.timeline] == times
 
     def test_samples_are_monotone_in_total_erases(self, small_geometry):
         simulator = Simulator(
