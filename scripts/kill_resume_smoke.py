@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI smoke: SIGKILL a sweep worker mid-cell, resume, compare reports.
+
+Runs a two-cell first-failure matrix twice:
+
+1. a clean, unsupervised ``run_matrix`` — the reference;
+2. under the campaign supervisor, with a hook that SIGKILLs the worker of
+   cell 1 right after its second checkpoint image lands on disk.
+
+The supervisor must retry the killed cell by resuming its checkpoint, and
+the final results must be **byte-identical** to the clean run (compared
+as canonical ``SimResult.as_dict`` JSON — the markdown report is not the
+comparison target because its supervision table legitimately differs in
+attempt counts).
+
+Exits 0 on success, 1 with a diagnostic on any divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import tempfile
+
+from repro.ckpt import SupervisorPolicy, run_supervised_matrix
+import repro.ckpt.supervisor as supervisor_module
+from repro.core.config import SWLConfig
+from repro.sim.experiment import (
+    ExperimentSpec,
+    make_base_trace,
+    run_matrix,
+    scaled_mlc2_geometry,
+    workload_params_for,
+)
+
+KILL_CELL = 1
+
+
+def build_matrix() -> list[ExperimentSpec]:
+    geometry = scaled_mlc2_geometry(24, scale=100)
+    return [
+        ExperimentSpec("ftl", geometry, None, seed=7),
+        ExperimentSpec(
+            "ftl", geometry, SWLConfig(enabled=True, threshold=10, k=0), seed=7
+        ),
+    ]
+
+
+def canonical(result) -> str:
+    return json.dumps(result.as_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def kill_after_second_checkpoint(index: int, attempt: int, count: int) -> None:
+    if index == KILL_CELL and attempt == 1 and count >= 2:
+        print(
+            f"[smoke] SIGKILLing cell {index} attempt {attempt} "
+            f"after checkpoint {count}",
+            flush=True,
+        )
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def main() -> int:
+    specs = build_matrix()
+    params = workload_params_for(specs[0], duration=1200.0, seed=3)
+    trace = make_base_trace(params)
+
+    print("[smoke] clean reference run ...", flush=True)
+    clean = run_matrix(specs, trace)
+
+    print("[smoke] supervised run with mid-cell SIGKILL ...", flush=True)
+    supervisor_module._checkpoint_observer = kill_after_second_checkpoint
+    with tempfile.TemporaryDirectory(prefix="kill-resume-smoke-") as workdir:
+        report = run_supervised_matrix(
+            specs,
+            trace,
+            workers=2,
+            policy=SupervisorPolicy(
+                workdir=workdir,
+                max_attempts=3,
+                backoff=0.05,
+                checkpoint_every_requests=2_000,
+            ),
+        )
+
+    failures: list[str] = []
+    if not report.ok:
+        failures.append(
+            f"campaign not ok: {[c.error for c in report.quarantined]}"
+        )
+    killed = report.cells[KILL_CELL]
+    if killed.attempts != 2:
+        failures.append(
+            f"killed cell ran {killed.attempts} attempt(s), expected 2 "
+            "(one kill, one resume)"
+        )
+    if len(set(killed.seeds)) != 1:
+        failures.append(
+            f"killed cell changed seeds {killed.seeds}; a crash retry must "
+            "resume the checkpoint, not rotate the seed"
+        )
+    for index, (reference, outcome) in enumerate(
+        zip(clean, report.results())
+    ):
+        if outcome is None:
+            failures.append(f"cell {index} produced no result")
+        elif canonical(reference) != canonical(outcome):
+            failures.append(
+                f"cell {index} diverged from the clean run after resume"
+            )
+
+    for failure in failures:
+        print(f"[smoke] FAIL: {failure}", flush=True)
+    if failures:
+        return 1
+    print(
+        f"[smoke] PASS: killed worker resumed after "
+        f"{killed.attempts - 1} retry; all {len(clean)} cells "
+        "byte-identical to the clean run",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

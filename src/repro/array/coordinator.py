@@ -159,6 +159,40 @@ class WearCoordinator:
                 best_level = level
         return best
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """The coordinator's own mutable state: its decision statistics.
+
+        Shard levelers snapshot themselves; the attachment wiring is
+        rebuilt when the array is reconstructed.
+        """
+        return {
+            "threshold": self.threshold,
+            "scope": self.scope,
+            "global_checks": self.stats.global_checks,
+            "global_runs": self.stats.global_runs,
+            "shard_runs": [
+                [shard, runs] for shard, runs in sorted(self.stats.shard_runs.items())
+            ],
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`; rejects config mismatches."""
+        if state["threshold"] != self.threshold or state["scope"] != self.scope:
+            raise ValueError(
+                f"coordinator snapshot (T={state['threshold']}, "
+                f"scope={state['scope']!r}) does not match "
+                f"(T={self.threshold}, scope={self.scope!r})"
+            )
+        self.stats = CoordinatorStats(
+            global_checks=state["global_checks"],  # type: ignore[arg-type]
+            global_runs=state["global_runs"],  # type: ignore[arg-type]
+            shard_runs={shard: runs for shard, runs in state["shard_runs"]},  # type: ignore[union-attr]
+        )
+        self._in_run = False
+
     def __repr__(self) -> str:
         return (
             f"WearCoordinator(scope={self.scope!r}, T={self.threshold}, "

@@ -248,6 +248,43 @@ class DeviceArray:
     def fault_stats(self) -> dict[str, int]:
         return self._merged([shard.fault_stats() for shard in self.shards])
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Per-shard stack snapshots plus the striping/coordinator identity."""
+        return {
+            "num_shards": len(self.shards),
+            "striping": self.striping.name,
+            "shards": [shard.snapshot_state() for shard in self.shards],
+            "coordinator": (
+                self.coordinator.snapshot_state()
+                if self.coordinator is not None else None
+            ),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Overwrite every shard in place from :meth:`snapshot_state`."""
+        if state["num_shards"] != len(self.shards):
+            raise ValueError(
+                f"array snapshot holds {state['num_shards']} shards, "
+                f"array has {len(self.shards)}"
+            )
+        if state["striping"] != self.striping.name:
+            raise ValueError(
+                f"array snapshot striping {state['striping']!r} does not "
+                f"match {self.striping.name!r}"
+            )
+        coordinator_state = state["coordinator"]
+        if (coordinator_state is None) != (self.coordinator is None):
+            raise ValueError(
+                "snapshot and array disagree on the presence of a coordinator"
+            )
+        for shard, shard_state in zip(self.shards, state["shards"]):  # type: ignore[arg-type]
+            shard.restore_state(shard_state)
+        if self.coordinator is not None:
+            self.coordinator.restore_state(coordinator_state)  # type: ignore[arg-type]
+
     def __repr__(self) -> str:
         return (
             f"DeviceArray(shards={len(self.shards)}, "

@@ -1,0 +1,149 @@
+"""The on-disk checkpoint container: versioned, CRC-guarded, atomic.
+
+A checkpoint image is a small binary file holding one JSON document (the
+composed ``snapshot_state()`` payload of a simulator stack — see
+:mod:`repro.ckpt.runner`).  The container is deliberately boring:
+
+====================  =================================================
+bytes 0-7             magic ``b"REPROCKP"``
+bytes 8-9             format version, little-endian ``u16``
+bytes 10-13           CRC-32 of the compressed payload (``u32``)
+bytes 14-21           compressed payload length (``u64``)
+bytes 22-...          zlib-compressed canonical JSON payload
+====================  =================================================
+
+Three properties matter more than the layout itself:
+
+* **Canonical encoding** — :func:`encode_payload` sorts keys, forbids
+  NaN/Infinity, and uses minimal separators, so two equal states encode
+  to byte-identical documents.  The round-trip test suite leans on this:
+  ``snapshot -> restore -> snapshot`` must reproduce the same bytes.
+* **Fail-closed reads** — :func:`read_image` raises a typed error on a
+  bad magic, an unknown version, a truncated file, or a CRC mismatch.
+  A restore never sees a half-written or bit-rotted image as data.
+* **Atomic writes** — :func:`write_image` writes to a same-directory
+  temporary file, flushes and fsyncs it, then ``os.replace``\\ s it over
+  the destination, so a crash mid-checkpoint leaves the previous image
+  intact instead of a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+
+MAGIC = b"REPROCKP"
+#: Bump on any incompatible change to the payload schema.
+CHECKPOINT_VERSION = 1
+
+_HEADER = struct.Struct("<8sHIQ")  # magic, version, crc32, payload length
+
+
+class CheckpointError(Exception):
+    """Base class for checkpoint image failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The image bytes are damaged (bad magic, CRC mismatch, bad JSON)."""
+
+
+class CheckpointTruncatedError(CheckpointCorruptError):
+    """The image ends before the length its header promises."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The image was written by an incompatible format version."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A valid image that belongs to a different configuration."""
+
+
+def encode_payload(payload: dict[str, object]) -> bytes:
+    """Canonical JSON bytes of ``payload`` (sorted keys, no NaN)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def write_image(path: str | Path, payload: dict[str, object]) -> int:
+    """Atomically write ``payload`` as a checkpoint image; returns its size.
+
+    The temporary file lives next to the destination (same filesystem,
+    so the final ``os.replace`` is atomic) and is removed on any error.
+    """
+    path = Path(path)
+    compressed = zlib.compress(encode_payload(payload), level=6)
+    header = _HEADER.pack(
+        MAGIC, CHECKPOINT_VERSION, zlib.crc32(compressed), len(compressed)
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(header)
+            handle.write(compressed)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return _HEADER.size + len(compressed)
+
+
+def read_image(path: str | Path) -> dict[str, object]:
+    """Read and verify a checkpoint image; returns the payload dict.
+
+    Raises
+    ------
+    CheckpointTruncatedError
+        The file is shorter than its header, or shorter than the payload
+        length the header declares.
+    CheckpointCorruptError
+        Bad magic, CRC mismatch, undecodable compression, or a payload
+        that is not a JSON object.
+    CheckpointVersionError
+        The header's format version is not :data:`CHECKPOINT_VERSION`.
+    """
+    raw = Path(path).read_bytes()
+    if len(raw) < _HEADER.size:
+        raise CheckpointTruncatedError(
+            f"{path}: {len(raw)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header"
+        )
+    magic, version, crc, length = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise CheckpointCorruptError(
+            f"{path}: bad magic {magic!r} (not a checkpoint image)"
+        )
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointVersionError(
+            f"{path}: image version {version}, this build reads "
+            f"version {CHECKPOINT_VERSION}"
+        )
+    compressed = raw[_HEADER.size:]
+    if len(compressed) < length:
+        raise CheckpointTruncatedError(
+            f"{path}: header promises {length} payload bytes, "
+            f"{len(compressed)} present"
+        )
+    if len(compressed) > length:
+        # Trailing garbage means the writer's contract was violated.
+        raise CheckpointCorruptError(
+            f"{path}: {len(compressed) - length} trailing bytes after "
+            "the declared payload"
+        )
+    if zlib.crc32(compressed) != crc:
+        raise CheckpointCorruptError(f"{path}: payload CRC mismatch")
+    try:
+        payload = json.loads(zlib.decompress(compressed).decode("utf-8"))
+    except (zlib.error, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(f"{path}: undecodable payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointCorruptError(
+            f"{path}: payload is {type(payload).__name__}, expected an object"
+        )
+    return payload

@@ -1,0 +1,388 @@
+"""Resumable replay: periodic checkpoints of the full simulator stack.
+
+:func:`run_resumable` is :func:`~repro.sim.experiment.run_until_first_failure`
+/ :func:`~repro.sim.experiment.run_fixed_horizon` with durability: it
+drives the same resampled-segment replay loop the plain runners use, but
+at segment boundaries it can freeze the whole stack — chip wear state,
+FTL/NFTL tables, SW Leveler + BET, every RNG stream, fault-plan cursors,
+the engine's bookkeeping, and the resampler's position — into one
+CRC-guarded image (:mod:`repro.ckpt.image`).
+
+The resume contract is exact: a replay interrupted at any checkpoint and
+resumed from it produces a :meth:`~repro.sim.engine.SimResult.as_dict`
+byte-identical to the uninterrupted run.  Two design choices make that
+cheap to guarantee:
+
+* checkpoints are only taken at *segment boundaries*, where no request,
+  procedure, or suspension is in flight — ``segments_emitted`` plus the
+  resampler RNG state then fully determine every future request;
+* a restore target is a freshly *built* stack (same spec, same wiring)
+  whose state is overwritten in place, so object graphs never need to be
+  pickled — every component contributes a JSON-friendly
+  ``snapshot_state()`` and a validating ``restore_state()``.
+
+A checkpoint also pins the configuration that produced it (spec, replay
+mode, base-trace digest); :func:`run_resumable` refuses to resume into a
+different one with :class:`~repro.ckpt.image.CheckpointMismatchError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.ckpt.image import (
+    CheckpointMismatchError,
+    read_image,
+    write_image,
+)
+from repro.flash.errors import PowerLossError
+from repro.ftl.factory import StorageBackend, build_backend
+from repro.sim.engine import SimResult, Simulator, StopCondition
+from repro.sim.experiment import DEFAULT_REQUEST_CAP, ExperimentSpec
+from repro.traces.extend import SegmentResampler
+from repro.fault.plan import FaultPlan
+from repro.traces.model import Request
+from repro.util.diagnostics import get_logger
+from repro.util.rng import make_rng, spawn_rng
+
+ckpt_log = get_logger("ckpt")
+
+
+class ReplayInterrupted(RuntimeError):
+    """Raised by the ``crash_after`` test hook right after a checkpoint.
+
+    The image on disk is then exactly the state the exception interrupted,
+    which is what crash/resume tests and the CI kill-and-resume smoke use
+    to simulate dying mid-run at a known-durable instant.
+    """
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Where and how often :func:`run_resumable` checkpoints.
+
+    Parameters
+    ----------
+    path:
+        Image destination (atomically replaced on every checkpoint).
+    every_requests:
+        Request-count cadence, enforced at segment boundaries: a new
+        image is written at the first boundary where at least this many
+        requests completed since the previous one.
+    initial:
+        Also checkpoint at the very first boundary (before any segment),
+        so even a run killed in its first segment can resume with its
+        original seed instead of rerunning from scratch.
+    crash_after:
+        Testing hook: raise :class:`ReplayInterrupted` immediately after
+        writing this many checkpoints.  ``None`` (default) never raises.
+    on_checkpoint:
+        Observer called with the running checkpoint count right after
+        each image lands on disk.  The campaign supervisor's tests and
+        the CI kill-and-resume smoke hang or SIGKILL workers from here —
+        at an instant where a durable image is guaranteed to exist.
+    """
+
+    path: str | Path
+    every_requests: int = 100_000
+    initial: bool = True
+    crash_after: int | None = None
+    on_checkpoint: "Callable[[int], None] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.every_requests <= 0:
+            raise ValueError(
+                f"every_requests must be positive, got {self.every_requests}"
+            )
+        if self.crash_after is not None and self.crash_after <= 0:
+            raise ValueError(
+                f"crash_after must be positive, got {self.crash_after}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Configuration fingerprints
+# ----------------------------------------------------------------------
+def spec_state(spec: ExperimentSpec) -> dict[str, object]:
+    """JSON-friendly identity of a spec; pins a checkpoint to its config."""
+    geometry = spec.geometry
+    return {
+        "driver": spec.driver,
+        "geometry": {
+            "name": geometry.name,
+            "num_blocks": geometry.num_blocks,
+            "pages_per_block": geometry.pages_per_block,
+            "page_size": geometry.page_size,
+            "endurance": geometry.endurance,
+            "cell_type": geometry.cell_type.name,
+        },
+        "swl": None if spec.swl is None else {
+            "enabled": spec.swl.enabled,
+            "threshold": spec.swl.threshold,
+            "k": spec.swl.k,
+            "selection": spec.swl.selection,
+            "trigger": spec.swl.trigger,
+            "trigger_param": spec.swl.trigger_param,
+        },
+        "op_ratio": spec.op_ratio,
+        "alloc_policy": spec.alloc_policy,
+        "seed": spec.seed,
+        "channels": spec.channels,
+        "striping": spec.striping,
+        "swl_scope": spec.swl_scope,
+    }
+
+
+def fault_plan_state(plan: FaultPlan | None) -> dict[str, object] | None:
+    """JSON-friendly identity of a fault plan (``None`` for no faults)."""
+    if plan is None:
+        return None
+    return {
+        "seed": plan.seed,
+        "erase_fail_prob": plan.erase_fail_prob,
+        "erase_weibull_shape": plan.erase_weibull_shape,
+        "program_fail_prob": plan.program_fail_prob,
+        "read_ber": plan.read_ber,
+        "ecc_correctable_bits": plan.ecc_correctable_bits,
+        "read_retry_limit": plan.read_retry_limit,
+        "power_loss_at": list(plan.power_loss_at),
+        "torn_writes": plan.torn_writes,
+    }
+
+
+def trace_digest(trace: Sequence[Request] | None) -> str | None:
+    """Content digest of a trace; rejects resuming onto different requests."""
+    if trace is None:
+        return None
+    digest = hashlib.sha256()
+    for request in trace:
+        digest.update(
+            f"{request.time!r}|{request.op.value}|{request.lba}|"
+            f"{request.sectors}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Stack construction (mirrors ExperimentSpec.build + optional faults)
+# ----------------------------------------------------------------------
+def build_spec_backend(
+    spec: ExperimentSpec, *, fault_plan: FaultPlan | None = None
+) -> StorageBackend:
+    """Build a spec's backend, optionally with per-shard fault injectors.
+
+    With ``fault_plan=None`` this is exactly
+    :meth:`~repro.sim.experiment.ExperimentSpec.build` — same construction
+    order, same RNG streams — so checkpoint runs stay bit-identical to
+    the plain runners.
+    """
+    rng = make_rng(spec.seed)
+    return build_backend(
+        spec.geometry,
+        spec.driver,
+        spec.swl,
+        channels=spec.channels,
+        striping=spec.striping,
+        swl_scope=spec.swl_scope,
+        op_ratio=spec.op_ratio,
+        alloc_policy=spec.alloc_policy,
+        rng=spawn_rng(rng, "leveler"),
+        fault_plan=fault_plan,
+    )
+
+
+def _replay_payload(
+    simulator: Simulator,
+    resampler: SegmentResampler,
+    spec: ExperimentSpec,
+    mode: dict[str, object],
+    trace_id: str | None,
+) -> dict[str, object]:
+    return {
+        "kind": "replay",
+        "spec": spec_state(spec),
+        "mode": mode,
+        "trace_sha256": trace_id,
+        "simulator": simulator.snapshot_state(),
+        "backend": simulator.stack.snapshot_state(),  # type: ignore[attr-defined]
+        "resampler": resampler.snapshot_state(),
+    }
+
+
+def _check_resume_identity(
+    payload: dict[str, object],
+    spec: ExperimentSpec,
+    mode: dict[str, object],
+    trace_id: str | None,
+    source: str | Path,
+) -> None:
+    if payload.get("kind") != "replay":
+        raise CheckpointMismatchError(
+            f"{source}: image holds a {payload.get('kind')!r} payload, "
+            "expected a replay checkpoint"
+        )
+    for key, expected in (
+        ("spec", spec_state(spec)),
+        ("mode", mode),
+        ("trace_sha256", trace_id),
+    ):
+        if payload.get(key) != expected:
+            raise CheckpointMismatchError(
+                f"{source}: checkpoint {key} {payload.get(key)!r} does not "
+                f"match this run's {expected!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# The resumable replay loop
+# ----------------------------------------------------------------------
+def run_resumable(
+    spec: ExperimentSpec,
+    base_trace: list[Request],
+    *,
+    horizon: float | None = None,
+    warmup: list[Request] | None = None,
+    request_cap: int = DEFAULT_REQUEST_CAP,
+    skip_reads: bool = True,
+    fault_plan: FaultPlan | None = None,
+    checkpoint: CheckpointPolicy | None = None,
+    resume_from: str | Path | None = None,
+    label: str | None = None,
+) -> SimResult:
+    """Replay a spec with optional checkpointing and/or resumption.
+
+    ``horizon=None`` runs until the first block wears out (Figure 5 mode);
+    otherwise the replay covers ``horizon`` simulated seconds (Table 4
+    mode).  Both match the plain runners request for request.
+
+    ``resume_from`` restores a checkpoint image written by a previous
+    invocation with the same spec, mode, and base trace (validated; a
+    mismatch raises :class:`~repro.ckpt.image.CheckpointMismatchError`)
+    and continues the replay exactly where the image froze it.  The
+    warmup is *not* replayed on resume — its effects are part of the
+    restored state.
+
+    ``checkpoint`` enables periodic images per :class:`CheckpointPolicy`;
+    checkpointing changes no RNG stream and no replay decision, so a
+    checkpointed run returns the same result as an uncheckpointed one.
+    """
+    stop = StopCondition(
+        until_first_failure=horizon is None,
+        max_time=horizon,
+        max_requests=request_cap,
+    )
+    mode: dict[str, object] = {
+        "horizon": horizon,
+        "request_cap": request_cap,
+        "skip_reads": skip_reads,
+        "fault_plan": fault_plan_state(fault_plan),
+        "warmup_sha256": trace_digest(warmup),
+    }
+    trace_id = trace_digest(base_trace)
+
+    simulator = Simulator(
+        build_spec_backend(spec, fault_plan=fault_plan), skip_reads=skip_reads
+    )
+    resampler = SegmentResampler(
+        base_trace, rng=spawn_rng(make_rng(spec.seed), "resampler")
+    )
+    if resume_from is not None:
+        payload = read_image(resume_from)
+        _check_resume_identity(payload, spec, mode, trace_id, resume_from)
+        simulator.restore_state(payload["simulator"])  # type: ignore[arg-type]
+        simulator.stack.restore_state(payload["backend"])  # type: ignore[attr-defined]
+        resampler.restore_state(payload["resampler"])  # type: ignore[arg-type]
+        ckpt_log.info(
+            "resumed %s at %d requests / %d segments from %s",
+            spec.label(), simulator.requests_done,
+            resampler.segments_emitted, resume_from,
+        )
+    elif warmup:
+        for request in warmup:
+            simulator.apply(request)
+
+    check_failure = stop.until_first_failure
+    backend = simulator.stack
+    last_checkpoint: int | None = None
+    checkpoints_written = 0
+    done = False
+    while not done:
+        if checkpoint is not None and (
+            (last_checkpoint is None and checkpoint.initial)
+            or (
+                last_checkpoint is not None
+                and simulator.requests_done - last_checkpoint
+                >= checkpoint.every_requests
+            )
+            or (
+                last_checkpoint is None
+                and not checkpoint.initial
+                and simulator.requests_done >= checkpoint.every_requests
+            )
+        ):
+            write_image(
+                checkpoint.path,
+                _replay_payload(simulator, resampler, spec, mode, trace_id),
+            )
+            last_checkpoint = simulator.requests_done
+            checkpoints_written += 1
+            ckpt_log.debug(
+                "checkpoint %d at %d requests -> %s",
+                checkpoints_written, simulator.requests_done, checkpoint.path,
+            )
+            if checkpoint.on_checkpoint is not None:
+                checkpoint.on_checkpoint(checkpoints_written)
+            if (
+                checkpoint.crash_after is not None
+                and checkpoints_written >= checkpoint.crash_after
+            ):
+                raise ReplayInterrupted(
+                    f"crash_after={checkpoint.crash_after} checkpoints "
+                    f"written to {checkpoint.path}"
+                )
+        # The replay body below mirrors Simulator.run exactly (stop-check
+        # order included) so resumable results match the plain runners.
+        for request in resampler.next_segment():
+            if stop.max_time is not None and request.time > stop.max_time:
+                done = True
+                break
+            try:
+                simulator.apply(request)
+            except PowerLossError:
+                simulator.power_lost = True
+                done = True
+                break
+            if check_failure and backend.first_failure is not None:
+                done = True
+                break
+            if (
+                stop.max_requests is not None
+                and simulator.requests_done >= stop.max_requests
+            ):
+                done = True
+                break
+    return simulator.result(label=label or spec.label())
+
+
+def checkpoint_spec_seed(path: str | Path) -> int:
+    """The spec seed recorded in a checkpoint image.
+
+    The campaign supervisor uses this to resume a cell with the seed that
+    actually wrote the checkpoint — which, after a seed-rotating retry, is
+    no longer necessarily the spec's original seed.
+    """
+    payload = read_image(path)
+    try:
+        return int(payload["spec"]["seed"])  # type: ignore[index, call-overload]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointMismatchError(
+            f"{path}: image does not record a spec seed"
+        ) from exc
+
+
+def resume_spec(spec: ExperimentSpec, path: str | Path) -> ExperimentSpec:
+    """``spec`` adjusted to the seed its checkpoint at ``path`` records."""
+    return replace(spec, seed=checkpoint_spec_seed(path))

@@ -133,6 +133,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="k values (default: 0)")
     sweep.add_argument("--report", metavar="PATH",
                        help="also write a markdown report to PATH")
+    sweep.add_argument("--resume", metavar="DIR", default=None,
+                       help="run under the fault-tolerant campaign "
+                            "supervisor with scratch directory DIR: cells "
+                            "checkpoint as they run, and re-running with "
+                            "the same DIR resumes interrupted cells and "
+                            "skips finished ones")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="supervised worker processes (default: 1; "
+                            "needs --resume)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt wall-clock timeout in seconds "
+                            "for supervised cells (default: none)")
+    sweep.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per supervised cell before "
+                            "quarantine (default: 3)")
     _add_stack_arguments(sweep)
     _add_telemetry_arguments(sweep)
 
@@ -307,12 +322,73 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervised_sweep(
+    args: argparse.Namespace,
+    specs: list[ExperimentSpec],
+    trace: list,
+    warmup: list,
+) -> int:
+    """``repro sweep --resume DIR``: the sweep as a supervised campaign."""
+    from repro.ckpt.supervisor import SupervisorPolicy, run_supervised_matrix
+    from repro.sim.reporting import campaign_markdown_report
+
+    report = run_supervised_matrix(
+        specs,
+        trace,
+        warmup=warmup,
+        workers=args.workers,
+        policy=SupervisorPolicy(
+            workdir=args.resume,
+            max_attempts=args.max_attempts,
+            timeout=args.timeout,
+        ),
+    )
+    baseline = report.cells[0].result
+    rows: list[list[object]] = []
+    for cell in report.cells:
+        if cell.result is None:
+            rows.append([cell.label, "quarantined", "-", cell.attempts])
+            continue
+        failure_days = round(cell.result.first_failure_time / DAY, 3)
+        if cell.result is baseline or baseline is None:
+            gain = "-"
+        else:
+            gain = f"{improvement_ratio(cell.result.first_failure_time, baseline.first_failure_time):+.1f}%"
+        rows.append([cell.label, failure_days, gain, cell.attempts])
+    print(format_table(
+        ["Configuration", "First failure (days)", "vs baseline", "Attempts"],
+        rows,
+        title=f"Supervised first-failure sweep, {args.driver.upper()} "
+              f"({args.blocks} blocks, endurance {10_000 // args.scale})",
+    ))
+    for cell in report.quarantined:
+        print(f"  quarantined: {cell.label} after {cell.attempts} "
+              f"attempt(s): {cell.error}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(campaign_markdown_report(
+                report,
+                title=f"{args.driver.upper()} first-failure sweep",
+            ))
+        print(f"\nmarkdown report written to {args.report}")
+    print(f"campaign state kept in {args.resume}/ "
+          "(re-run with the same --resume to continue)")
+    return 0 if report.ok else 1
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     spec = _spec(args)
     params = workload_params_for(spec, duration=1.0 * DAY, seed=args.seed + 1)
     workload = make_workload(params)
     trace = workload.requests()
     warmup = workload.prefill_requests()
+    if args.resume:
+        specs = [replace(spec, swl=None)] + [
+            replace(spec, swl=SWLConfig(threshold=threshold, k=k))
+            for threshold in args.thresholds
+            for k in args.ks
+        ]
+        return _supervised_sweep(args, specs, trace, warmup)
     def cell_telemetry(label: str) -> Telemetry | None:
         # One artifact directory per sweep cell; a bare --telemetry has
         # nowhere to put a whole sweep's traces, so it needs --trace-out.
@@ -446,6 +522,7 @@ def _command_faults(args: argparse.Namespace) -> int:
              result.injector_stats.get("program_faults", 0)],
             ["read errors corrected",
              result.injector_stats.get("read_errors_corrected", 0)],
+            ["unrecovered faults", result.unrecovered_faults],
             ["recovery copies", recovery.recovery_copies],
             ["recovery erase overhead",
              f"{recovery.recovery_erase_overhead:.2f}%"],

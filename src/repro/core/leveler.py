@@ -36,7 +36,7 @@ from repro.core.policies import (
 from repro.obs.events import BetReset as BetResetEvent
 from repro.obs.events import SwlInvoke as SwlInvokeEvent
 from repro.util.diagnostics import leveler_log
-from repro.util.rng import make_rng
+from repro.util.rng import make_rng, rng_state_from_json, rng_state_to_json
 
 if TYPE_CHECKING:
     from repro.array.coordinator import WearCoordinator
@@ -420,6 +420,86 @@ class SWLeveler:
             if not self.bet.is_set(findex):
                 self.bet.mark_handled(findex)
         return True
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Freeze the leveler: BET image, cursor, RNG stream, statistics.
+
+        The BET rides as its own CRC-guarded image (:meth:`BlockErasingTable.
+        to_bytes`), hex-encoded for the JSON payload; ``resets`` is carried
+        separately because the image format predates the counter.  Snapshots
+        are taken at request boundaries, where no procedure is in flight and
+        no suspension is held, so only the deferred-trigger bookkeeping
+        needs to survive.
+        """
+        stats = self.stats
+        return {
+            "threshold": self.threshold,
+            "bet": self.bet.to_bytes().hex(),
+            "bet_resets": self.bet.resets,
+            "findex": self.findex,
+            "rng": rng_state_to_json(self.rng),
+            "retired_flags": sorted(self._retired_flags),
+            "deferred_check": self._deferred_check,
+            "deferred_at_ecnt": self._deferred_at_ecnt,
+            "requests_seen": self._requests_seen,
+            "now": self._now,
+            "stats": {
+                "procedure_runs": stats.procedure_runs,
+                "procedure_checks": stats.procedure_checks,
+                "forced_recycles": stats.forced_recycles,
+                "direct_marks": stats.direct_marks,
+                "swl_erases": stats.swl_erases,
+                "swl_copies": stats.swl_copies,
+                "bet_resets": stats.bet_resets,
+                "findex_history": list(stats.findex_history),
+                "findex_seen": stats.findex_seen,
+                "findex_stride": stats.findex_stride,
+            },
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`; rejects config mismatches."""
+        if state["threshold"] != self.threshold:
+            raise ValueError(
+                f"leveler snapshot threshold {state['threshold']} does not "
+                f"match {self.threshold}"
+            )
+        bet, _sequence = BlockErasingTable.from_bytes(
+            bytes.fromhex(state["bet"])  # type: ignore[arg-type]
+        )
+        if bet.num_blocks != self.bet.num_blocks or bet.k != self.bet.k:
+            raise ValueError(
+                f"leveler snapshot BET geometry ({bet.num_blocks} blocks, "
+                f"k={bet.k}) does not match ({self.bet.num_blocks} blocks, "
+                f"k={self.bet.k})"
+            )
+        bet.resets = state["bet_resets"]  # type: ignore[assignment]
+        self.bet = bet
+        self.findex = state["findex"]  # type: ignore[assignment]
+        self.rng.setstate(rng_state_from_json(state["rng"]))  # type: ignore[arg-type]
+        self._retired_flags = set(state["retired_flags"])  # type: ignore[arg-type]
+        self._deferred_check = bool(state["deferred_check"])
+        self._deferred_at_ecnt = state["deferred_at_ecnt"]  # type: ignore[assignment]
+        self._requests_seen = state["requests_seen"]  # type: ignore[assignment]
+        self._now = state["now"]  # type: ignore[assignment]
+        self._in_procedure = False
+        self._suspended = 0
+        stats = state["stats"]  # type: ignore[assignment]
+        self.stats = SWLStats(
+            procedure_runs=stats["procedure_runs"],  # type: ignore[index]
+            procedure_checks=stats["procedure_checks"],  # type: ignore[index]
+            forced_recycles=stats["forced_recycles"],  # type: ignore[index]
+            direct_marks=stats["direct_marks"],  # type: ignore[index]
+            swl_erases=stats["swl_erases"],  # type: ignore[index]
+            swl_copies=stats["swl_copies"],  # type: ignore[index]
+            bet_resets=stats["bet_resets"],  # type: ignore[index]
+            findex_history=list(stats["findex_history"]),  # type: ignore[index]
+            findex_seen=stats["findex_seen"],  # type: ignore[index]
+            findex_stride=stats["findex_stride"],  # type: ignore[index]
+        )
 
     @property
     def unevenness(self) -> float:

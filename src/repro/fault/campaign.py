@@ -43,6 +43,7 @@ class FaultCampaignResult:
     recovery_stats: dict[str, int] = field(default_factory=dict)
     retired_blocks: int = 0
     soak_erases: int = 0                 #: all block erases during the soak
+    unrecovered_faults: int = 0          #: blocks condemned but never retired
     soak_violations: list[str] = field(default_factory=list)
     crash_report: CrashSweepReport = field(default_factory=CrashSweepReport)
 
@@ -72,6 +73,7 @@ class FaultCampaignResult:
             "soak_writes": self.soak_writes,
             "soak_erases": self.soak_erases,
             "retired_blocks": self.retired_blocks,
+            "unrecovered_faults": self.unrecovered_faults,
             "soak_violations": len(self.soak_violations),
             **{f"inj_{k}": v for k, v in self.injector_stats.items()},
             **{f"rec_{k}": v for k, v in self.recovery_stats.items()},
@@ -159,6 +161,21 @@ def run_fault_campaign(
             layer.assert_internal_consistency()
         except AssertionError as exc:
             result.soak_violations.append(f"soak internal consistency: {exc}")
+
+    # Unrecovered-fault gate: every block a delivered fault condemned must
+    # have finished its retirement by soak end — data migrated off and the
+    # block marked bad.  Anything still pending is a recovery the driver
+    # dropped on the floor, and ``repro faults`` must exit nonzero for it.
+    # A device-full abort is exempt like the consistency check above: the
+    # OutOfSpaceError interrupted a retirement that had nowhere to migrate
+    # to — end of device life, not a dropped recovery.
+    unrecovered = sorted(layer.failed_blocks) if not device_full else []
+    result.unrecovered_faults = len(unrecovered)
+    if unrecovered:
+        result.soak_violations.append(
+            f"{len(unrecovered)} injected fault(s) left unrecovered at soak "
+            f"end: blocks {unrecovered} condemned but never retired"
+        )
 
     result.injector_stats = injector.stats.as_dict()
     layer_stats = layer.stats.as_dict()

@@ -30,7 +30,7 @@ from repro.fault.plan import FaultPlan
 from repro.obs.events import FaultInjected
 from repro.obs.events import PowerLoss as PowerLossEvent
 from repro.util.diagnostics import fault_log
-from repro.util.rng import make_rng
+from repro.util.rng import make_rng, rng_state_from_json, rng_state_to_json
 
 if TYPE_CHECKING:
     from repro.obs.bus import BusLike
@@ -217,6 +217,42 @@ class FaultInjector:
     def note_torn_page(self) -> None:
         """Called by the chip after leaving a page torn on power loss."""
         self.stats.torn_pages += 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Freeze the fault engine mid-plan: RNG, stats, loss cursor.
+
+        The plan itself is not serialized — it is part of the experiment
+        configuration the checkpoint consumer rebuilds — but its seed is
+        recorded so a restore into a different plan is rejected.
+        """
+        return {
+            "plan_seed": self.plan.seed,
+            "rng": rng_state_to_json(self.rng),
+            "bad_program_blocks": sorted(self.bad_program_blocks),
+            "loss_schedule": list(self._loss_schedule),
+            "loss_cursor": self._loss_cursor,
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`; rejects plan mismatches."""
+        if state["plan_seed"] != self.plan.seed:
+            raise ValueError(
+                f"injector snapshot belongs to plan seed {state['plan_seed']}, "
+                f"injector has seed {self.plan.seed}"
+            )
+        if list(state["loss_schedule"]) != self._loss_schedule:  # type: ignore[arg-type]
+            raise ValueError(
+                "injector snapshot power-loss schedule does not match the plan"
+            )
+        self.rng.setstate(rng_state_from_json(state["rng"]))  # type: ignore[arg-type]
+        self.bad_program_blocks = set(state["bad_program_blocks"])  # type: ignore[arg-type]
+        self._loss_cursor = state["loss_cursor"]  # type: ignore[assignment]
+        stats = state["stats"]
+        self.stats = FaultStats(**stats)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     def _poisson(self, lam: float) -> int:

@@ -404,6 +404,107 @@ class NandFlash:
         return states.count(PAGE_FREE) == len(states)
 
     # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """JSON-friendly snapshot of all durable chip state.
+
+        Covers everything a power cycle would preserve on real media
+        (page states, spare tags, erase-unit headers, payloads, the
+        grown-bad-block table) plus the simulator's wear accounting
+        (erase counts, :class:`~repro.sim.metrics.WearAccumulator`
+        moments, worn blocks, the first-failure record, op counters).
+        RAM wiring — erase listeners, the injector, the telemetry bus —
+        is deliberately absent: it is rebuilt by whoever reconstructs
+        the stack around the restored chip.
+        """
+        failure = self.first_failure
+        return {
+            "geometry": {
+                "name": self.geometry.name,
+                "num_blocks": self.geometry.num_blocks,
+                "pages_per_block": self.geometry.pages_per_block,
+                "page_size": self.geometry.page_size,
+                "endurance": self.geometry.endurance,
+                "cell_type": self.geometry.cell_type.name,
+            },
+            "store_data": self.store_data,
+            "states": bytes(self._states).hex(),
+            "spare_lba": list(self._spare_lba),
+            "block_tags": [[block, tag] for block, tag
+                           in sorted(self._block_tags.items())],
+            "data": [[index, payload.hex()] for index, payload
+                     in sorted(self._data.items())],
+            "erase_counts": list(self.erase_counts),
+            "wear": self.wear.snapshot_state(),
+            "counters": {
+                "reads": self.counters.reads,
+                "programs": self.counters.programs,
+                "erases": self.counters.erases,
+            },
+            "worn_blocks": sorted(self.worn_blocks),
+            "first_failure": None if failure is None else {
+                "block": failure.block,
+                "erase_ordinal": failure.erase_ordinal,
+                "erase_count": failure.erase_count,
+            },
+            "bad_blocks": sorted(self.bad_blocks),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Overwrite chip state in place from :meth:`snapshot_state`.
+
+        In place matters: the allocator and MTD hold live references to
+        ``erase_counts`` and ``wear``, so both are mutated rather than
+        rebound.  Raises ``ValueError`` when the snapshot was taken on a
+        different geometry.
+        """
+        geometry = state["geometry"]
+        assert isinstance(geometry, dict)
+        mine = {
+            "name": self.geometry.name,
+            "num_blocks": self.geometry.num_blocks,
+            "pages_per_block": self.geometry.pages_per_block,
+            "page_size": self.geometry.page_size,
+            "endurance": self.geometry.endurance,
+            "cell_type": self.geometry.cell_type.name,
+        }
+        if geometry != mine:
+            raise ValueError(
+                f"chip snapshot geometry {geometry} does not match {mine}"
+            )
+        states = bytes.fromhex(state["states"])  # type: ignore[arg-type]
+        if len(states) != len(self._states):
+            raise ValueError(
+                f"snapshot has {len(states)} page states, chip has "
+                f"{len(self._states)}"
+            )
+        self._states[:] = states
+        self._spare_lba[:] = state["spare_lba"]  # type: ignore[index]
+        self._block_tags = {block: tag for block, tag in state["block_tags"]}  # type: ignore[union-attr]
+        self._data = {index: bytes.fromhex(payload)
+                      for index, payload in state["data"]}  # type: ignore[union-attr]
+        self.erase_counts[:] = state["erase_counts"]  # type: ignore[index]
+        self.wear.restore_state(state["wear"])  # type: ignore[arg-type]
+        counters = state["counters"]
+        assert isinstance(counters, dict)
+        self.counters.reads = counters["reads"]
+        self.counters.programs = counters["programs"]
+        self.counters.erases = counters["erases"]
+        self.worn_blocks = set(state["worn_blocks"])  # type: ignore[arg-type]
+        failure = state["first_failure"]
+        if failure is None:
+            self.first_failure = None
+        else:
+            assert isinstance(failure, dict)
+            self.first_failure = FirstFailure(
+                block=failure["block"],
+                erase_ordinal=failure["erase_ordinal"],
+                erase_count=failure["erase_count"],
+            )
+        self.bad_blocks = set(state["bad_blocks"])  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
     # Wear statistics
     # ------------------------------------------------------------------
     def max_erase_count(self) -> int:

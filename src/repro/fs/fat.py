@@ -34,6 +34,11 @@ _DIRENT = struct.Struct("<11sBIHxx10x")  # name, flags, size, first cluster
 DIRENT_SIZE = _DIRENT.size            # 32 bytes
 _FAT_FREE = 0x0000
 _FAT_EOF = 0xFFFF
+# A chain link is stored as ``next_cluster + 1``: cluster 0 is a valid
+# data cluster here (unlike classic FAT, which reserves entries 0-1), so
+# a raw pointer to it would alias _FAT_FREE and let the allocator hand
+# out a cluster that is still part of a live chain.
+_FAT_LINK_BIAS = 1
 _FLAG_USED = 0x01
 
 
@@ -236,7 +241,10 @@ class FatFileSystem:
             if not 0 <= cluster < self.num_clusters:
                 raise FileSystemError(f"corrupt FAT chain at {cluster}")
             chain.append(cluster)
-            cluster = self._fat[cluster]
+            entry = self._fat[cluster]
+            if entry == _FAT_FREE:
+                raise FileSystemError(f"FAT chain runs into a free entry at {cluster}")
+            cluster = entry if entry == _FAT_EOF else entry - _FAT_LINK_BIAS
             if len(chain) > self.num_clusters:
                 raise FileSystemError("FAT chain cycle detected")
         return chain
@@ -290,7 +298,7 @@ class FatFileSystem:
                 cluster = self._allocate_cluster()
                 self._write_fat_entry(cluster, _FAT_EOF)  # reserve
                 if chain:
-                    self._write_fat_entry(chain[-1], cluster)
+                    self._write_fat_entry(chain[-1], cluster + _FAT_LINK_BIAS)
                 chain.append(cluster)
         except FileSystemFullError:
             for cluster in chain:  # release the partial chain
@@ -337,7 +345,7 @@ class FatFileSystem:
         while cursor < len(data):
             cluster = self._allocate_cluster()
             self._write_fat_entry(cluster, _FAT_EOF)
-            self._write_fat_entry(chain[-1], cluster)
+            self._write_fat_entry(chain[-1], cluster + _FAT_LINK_BIAS)
             chain.append(cluster)
             chunk = data[cursor:cursor + self.cluster_bytes]
             self.device.write_sectors(

@@ -135,5 +135,38 @@ class BlockAllocator:
         """Snapshot of the pooled block numbers."""
         return set(self._free)
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the pool.
+
+        The LIFO stack and the min-wear heap are serialized in their
+        exact list order — both legitimately contain stale entries (from
+        :meth:`promote` and re-keying), and allocation order is part of
+        the replay-determinism contract.
+        """
+        return {
+            "policy": self.policy,
+            "free": sorted(self._free),
+            "stack": list(self._stack),
+            "heap": [[wear, block] for wear, block in self._heap],
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Overwrite the pool in place from :meth:`snapshot_state`.
+
+        ``_erase_counts`` stays untouched: it is the live list shared
+        with the chip, which the caller restores separately.
+        """
+        if state["policy"] != self.policy:
+            raise ValueError(
+                f"allocator snapshot policy {state['policy']!r} does not "
+                f"match {self.policy!r}"
+            )
+        self._free = set(state["free"])  # type: ignore[arg-type]
+        self._stack = list(state["stack"])  # type: ignore[arg-type]
+        self._heap = [(wear, block) for wear, block in state["heap"]]  # type: ignore[union-attr]
+
     def __repr__(self) -> str:
         return f"BlockAllocator(policy={self.policy!r}, free={self.free_count})"

@@ -352,8 +352,63 @@ class TranslationLayer(ABC):
             self.leveler.resume()
 
     # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the driver-common mutable state.
+
+        Subclasses extend the dict with their mapping tables.  The
+        leveler, the bus, and the MTD reference are wiring, rebuilt by
+        the stack constructor before ``restore_state`` runs.
+        """
+        return {
+            "layer": self.name,
+            "retired_blocks": sorted(self.retired_blocks),
+            "failed_blocks": sorted(self._failed_blocks),
+            "stats": {
+                "host_reads": self.stats.host_reads,
+                "host_writes": self.stats.host_writes,
+                "gc_runs": self.stats.gc_runs,
+                "live_page_copies": self.stats.live_page_copies,
+                "folds": self.stats.folds,
+                "forced_recycles": self.stats.forced_recycles,
+                "dead_recycles": self.stats.dead_recycles,
+                "erase_retries": self.stats.erase_retries,
+                "program_faults": self.stats.program_faults,
+                "recovery_copies": self.stats.recovery_copies,
+                "recovery_erases": self.stats.recovery_erases,
+                "extra": dict(sorted(self.stats.extra.items())),
+            },
+            "allocator": self.allocator.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Overwrite driver-common state from :meth:`snapshot_state`."""
+        if state["layer"] != self.name:
+            raise ValueError(
+                f"layer snapshot is for {state['layer']!r}, driver is "
+                f"{self.name!r}"
+            )
+        self.retired_blocks = set(state["retired_blocks"])  # type: ignore[arg-type]
+        self._failed_blocks = set(state["failed_blocks"])  # type: ignore[arg-type]
+        stats = dict(state["stats"])  # type: ignore[arg-type]
+        extra = stats.pop("extra")
+        self.stats = LayerStats(**stats, extra=dict(extra))
+        self.allocator.restore_state(state["allocator"])  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def failed_blocks(self) -> frozenset[int]:
+        """Blocks condemned by a fault but not yet retired.
+
+        Non-empty at the end of a run means a delivered fault's recovery
+        is still in flight — the condition the fault-campaign gate treats
+        as an unrecovered fault.
+        """
+        return frozenset(self._failed_blocks)
+
     @property
     def erase_counts(self) -> list[int]:
         """Per-block erase counts (the distribution behind paper Table 4)."""

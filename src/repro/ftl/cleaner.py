@@ -163,5 +163,22 @@ class CyclicScanner:
                                   -1 if best_unit is None else best_unit))
         return best_unit
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, int]:
+        """The scanner's mutable state: cursor position and probe count."""
+        return {"size": self.size, "cursor": self.cursor, "probes": self.probes}
+
+    def restore_state(self, state: dict[str, int]) -> None:
+        """Inverse of :meth:`snapshot_state`; rejects a size mismatch."""
+        if state["size"] != self.size:
+            raise ValueError(
+                f"scanner snapshot covers {state['size']} units, "
+                f"scanner has {self.size}"
+            )
+        self.cursor = state["cursor"]
+        self.probes = state["probes"]
+
     def __repr__(self) -> str:
         return f"CyclicScanner(size={self.size}, cursor={self.cursor})"

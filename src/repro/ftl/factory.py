@@ -260,6 +260,56 @@ class StorageStack:
         injector = self.flash.injector
         return injector.stats.as_dict() if injector is not None else {}
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Compose the snapshots of every component in the stack.
+
+        Wiring (erase listeners, bus hookups, the leveler<->layer
+        attachment, the allocator's shared erase-count list) is never
+        serialized: a restore target is a freshly *built* stack whose
+        wiring already exists, and only the state is overwritten.
+        """
+        injector = self.flash.injector
+        return {
+            "flash": self.flash.snapshot_state(),
+            "busy_time": self.mtd.busy_time,
+            "layer": self.layer.snapshot_state(),
+            "leveler": (
+                self.leveler.snapshot_state() if self.leveler is not None else None
+            ),
+            "injector": (
+                injector.snapshot_state() if injector is not None else None
+            ),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Overwrite every component in place from :meth:`snapshot_state`.
+
+        The stack must be built from the same configuration that produced
+        the snapshot; component-level geometry/config checks raise
+        ``ValueError`` on any mismatch (e.g. a leveler in the image but
+        not in the stack).
+        """
+        leveler_state = state["leveler"]
+        if (leveler_state is None) != (self.leveler is None):
+            raise ValueError(
+                "snapshot and stack disagree on the presence of a SW Leveler"
+            )
+        injector_state = state["injector"]
+        if (injector_state is None) != (self.flash.injector is None):
+            raise ValueError(
+                "snapshot and stack disagree on the presence of a fault injector"
+            )
+        self.flash.restore_state(state["flash"])  # type: ignore[arg-type]
+        self.mtd.busy_time = state["busy_time"]  # type: ignore[assignment]
+        self.layer.restore_state(state["layer"])  # type: ignore[arg-type]
+        if self.leveler is not None:
+            self.leveler.restore_state(leveler_state)  # type: ignore[arg-type]
+        if self.flash.injector is not None:
+            self.flash.injector.restore_state(injector_state)  # type: ignore[arg-type]
+
 
 def build_stack(
     geometry: FlashGeometry,

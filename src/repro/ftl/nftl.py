@@ -372,6 +372,68 @@ class NFTL(TranslationLayer):
         self._owner[new_primary] = chain
 
     # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Driver-common state plus every block chain.
+
+        ``_owner`` is not serialized: it is derivable from the chains
+        (each chain owns its primary and replacement) and is rebuilt on
+        restore.
+        """
+        state = super().snapshot_state()
+        chains: list[dict[str, object] | None] = []
+        for chain in self._chains:
+            if chain is None:
+                chains.append(None)
+                continue
+            chains.append({
+                "vba": chain.vba,
+                "primary": chain.primary,
+                "replacement": chain.replacement,
+                "repl_next": chain.repl_next,
+                "locations": list(chain.locations),
+                "valid_offsets": chain.valid_offsets,
+                "primary_used": chain.primary_used,
+            })
+        state.update({
+            "num_vbas": self.num_vbas,
+            "chains": chains,
+            "scanner": self.scanner.snapshot_state(),
+            "pending_retire": list(self._pending_retire),
+        })
+        return state
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        if state["num_vbas"] != self.num_vbas:
+            raise ValueError(
+                f"NFTL snapshot exports {state['num_vbas']} VBAs, "
+                f"driver exports {self.num_vbas}"
+            )
+        super().restore_state(state)
+        self._chains = [None] * self.num_vbas
+        self._owner = [None] * self.geometry.num_blocks
+        for vba, entry in enumerate(state["chains"]):  # type: ignore[arg-type]
+            if entry is None:
+                continue
+            chain = BlockChain(
+                vba=entry["vba"],
+                primary=entry["primary"],
+                replacement=entry["replacement"],
+                repl_next=entry["repl_next"],
+                locations=list(entry["locations"]),
+                valid_offsets=entry["valid_offsets"],
+                primary_used=entry["primary_used"],
+            )
+            self._chains[vba] = chain
+            self._owner[chain.primary] = chain
+            if chain.replacement is not None:
+                self._owner[chain.replacement] = chain
+        self.scanner.restore_state(state["scanner"])  # type: ignore[arg-type]
+        self._pending_retire = list(state["pending_retire"])  # type: ignore[arg-type]
+        self._retiring = False
+
+    # ------------------------------------------------------------------
     # Attach-time recovery
     # ------------------------------------------------------------------
     def rebuild_mapping(self) -> int:

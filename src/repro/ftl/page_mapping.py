@@ -401,6 +401,51 @@ class PageMappingFTL(TranslationLayer):
         return recycled
 
     # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Driver-common state plus the page-level mapping tables."""
+        state = super().snapshot_state()
+        state.update({
+            "num_logical_pages": self._num_logical_pages,
+            "l2p": list(self._l2p),
+            "p2l": list(self._p2l),
+            "valid": list(self._valid),
+            "invalid": list(self._invalid),
+            "scanner": self.scanner.snapshot_state(),
+            "host_frontier": self._host_frontier,
+            "copy_frontier": self._copy_frontier,
+            "cold_frontier": self._cold_frontier,
+            "pending_retire": list(self._pending_retire),
+        })
+        return state
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        if state["num_logical_pages"] != self._num_logical_pages:
+            raise ValueError(
+                f"FTL snapshot exports {state['num_logical_pages']} logical "
+                f"pages, driver exports {self._num_logical_pages}"
+            )
+        super().restore_state(state)
+        self._l2p = list(state["l2p"])  # type: ignore[arg-type]
+        self._p2l = list(state["p2l"])  # type: ignore[arg-type]
+        self._valid = list(state["valid"])  # type: ignore[arg-type]
+        self._invalid = list(state["invalid"])  # type: ignore[arg-type]
+        self.scanner.restore_state(state["scanner"])  # type: ignore[arg-type]
+
+        def frontier(value: object) -> tuple[int, int] | None:
+            if value is None:
+                return None
+            block, page = value  # type: ignore[misc]
+            return (block, page)
+
+        self._host_frontier = frontier(state["host_frontier"])
+        self._copy_frontier = frontier(state["copy_frontier"])
+        self._cold_frontier = frontier(state["cold_frontier"])
+        self._pending_retire = list(state["pending_retire"])  # type: ignore[arg-type]
+        self._retiring = False
+
+    # ------------------------------------------------------------------
     # Attach-time recovery (Figure 2(a): the table lives in RAM)
     # ------------------------------------------------------------------
     def rebuild_mapping(self) -> int:

@@ -380,6 +380,77 @@ class Simulator:
             self.heatmap_interval *= 2
         self._next_heatmap = self.clock + self.heatmap_interval
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Freeze the replay bookkeeping (not the backend — see the stack).
+
+        ``sample_interval`` / ``heatmap_interval`` are mutable (decimation
+        doubles them), so the *current* values are captured together with
+        the next-capture deadlines and the decimated series themselves.
+        """
+        return {
+            "clock": self.clock,
+            "requests_done": self.requests_done,
+            "pages_written": self.pages_written,
+            "pages_read": self.pages_read,
+            "power_lost": self.power_lost,
+            "first_failure_clock": self.first_failure_clock,
+            "sample_interval": self.sample_interval,
+            "heatmap_interval": self.heatmap_interval,
+            # inf (sampling disabled) is not valid JSON; ride as None.
+            "next_sample": (
+                None if self._next_sample == float("inf") else self._next_sample
+            ),
+            "next_heatmap": (
+                None if self._next_heatmap == float("inf") else self._next_heatmap
+            ),
+            "timeline": [
+                [s.time, s.average, s.deviation, s.maximum, s.total_erases]
+                for s in self.timeline
+            ],
+            "heatmaps": [h.as_dict() for h in self.heatmaps],
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state` (the backend restores itself)."""
+        self.clock = state["clock"]  # type: ignore[assignment]
+        self.requests_done = state["requests_done"]  # type: ignore[assignment]
+        self.pages_written = state["pages_written"]  # type: ignore[assignment]
+        self.pages_read = state["pages_read"]  # type: ignore[assignment]
+        self.power_lost = bool(state["power_lost"])
+        self.first_failure_clock = state["first_failure_clock"]  # type: ignore[assignment]
+        self.sample_interval = state["sample_interval"]  # type: ignore[assignment]
+        self.heatmap_interval = state["heatmap_interval"]  # type: ignore[assignment]
+        self._next_sample = (
+            state["next_sample"] if state["next_sample"] is not None  # type: ignore[assignment]
+            else float("inf")
+        )
+        self._next_heatmap = (
+            state["next_heatmap"] if state["next_heatmap"] is not None  # type: ignore[assignment]
+            else float("inf")
+        )
+        self.timeline = [
+            WearSample(
+                time=time, average=average, deviation=deviation,
+                maximum=maximum, total_erases=total,
+            )
+            for time, average, deviation, maximum, total in state["timeline"]  # type: ignore[union-attr]
+        ]
+        self.heatmaps = [
+            WearHeatmap(
+                ts=h["ts"],
+                num_blocks=h["num_blocks"],
+                bin_width=h["bin_width"],
+                cells=tuple(h["cells"]),
+                min_count=h["min_count"],
+                max_count=h["max_count"],
+                total_erases=h["total_erases"],
+            )
+            for h in state["heatmaps"]  # type: ignore[union-attr]
+        ]
+
     def result(self, *, label: str | None = None) -> SimResult:
         """Snapshot the current state as a :class:`SimResult`.
 

@@ -35,6 +35,7 @@ from repro.traces.model import Request
 from repro.util.rng import make_rng, spawn_rng
 
 if TYPE_CHECKING:
+    from repro.ckpt.supervisor import SupervisorPolicy
     from repro.obs.telemetry import Telemetry
 
 #: Hard request cap for "endless" replays — a defensive bound far above
@@ -291,6 +292,7 @@ def run_matrix(
     warmup: list[Request] | None = None,
     request_cap: int = DEFAULT_REQUEST_CAP,
     workers: int | None = None,
+    policy: "SupervisorPolicy | None" = None,
 ) -> list[SimResult]:
     """Run many specs over one shared base trace.
 
@@ -302,7 +304,28 @@ def run_matrix(
     shared state — so parallel results are identical to serial ones, in
     the same order; only the wall-clock changes.  ``None`` or ``1`` runs
     serially in-process.
+
+    ``policy`` routes the matrix through the fault-tolerant campaign
+    supervisor (:func:`repro.ckpt.supervisor.run_supervised_matrix`): each
+    cell checkpoints as it runs, a crashed or killed worker is retried by
+    resuming its last image (bit-identical to an undisturbed run), a hung
+    worker is retried with a fresh deterministic retry seed, and a cell
+    that exhausts its attempts is **quarantined** — its slot in the
+    returned list is ``None`` — instead of the whole sweep raising.
     """
+    if policy is not None:
+        from repro.ckpt.supervisor import run_supervised_matrix
+
+        report = run_supervised_matrix(
+            specs,
+            base_trace,
+            horizon=horizon,
+            warmup=warmup,
+            request_cap=request_cap,
+            workers=workers or 1,
+            policy=policy,
+        )
+        return report.results()  # type: ignore[return-value]
     payloads = [
         (spec, base_trace, horizon, warmup, request_cap) for spec in specs
     ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 SECONDS_PER_YEAR = 365.0 * 86_400.0
 
@@ -258,6 +258,46 @@ class WearAccumulator:
     def bin_sums(self) -> List[int]:
         """Per-bin erase-count sums (empty until :meth:`ensure_bins`)."""
         return self._bin_sums
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-friendly view of every mutable field.
+
+        The histogram is emitted as sorted ``[count, blocks]`` pairs so
+        the snapshot is canonical: two accumulators with equal state
+        produce byte-identical encodings regardless of insertion order.
+        """
+        return {
+            "blocks": self.blocks,
+            "total": self.total,
+            "sum_sq": self.sum_sq,
+            "maximum": self.maximum,
+            "minimum": self.minimum,
+            "hist": [[count, blocks] for count, blocks in sorted(self._hist.items())],
+            "bin_width": self.bin_width,
+            "bin_sums": list(self._bin_sums),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite the accumulator in place from :meth:`snapshot_state`.
+
+        Raises ``ValueError`` when the snapshot covers a different number
+        of blocks — restoring wear state onto the wrong geometry.
+        """
+        if state["blocks"] != self.blocks:
+            raise ValueError(
+                f"wear snapshot covers {state['blocks']} blocks, "
+                f"accumulator has {self.blocks}"
+            )
+        self.total = state["total"]
+        self.sum_sq = state["sum_sq"]
+        self.maximum = state["maximum"]
+        self.minimum = state["minimum"]
+        self._hist = {count: blocks for count, blocks in state["hist"]}
+        self.bin_width = state["bin_width"]
+        self._bin_sums = list(state["bin_sums"])
 
     def __repr__(self) -> str:
         return (

@@ -15,6 +15,7 @@ from repro.sim.engine import SimResult
 from repro.sim.metrics import improvement_ratio
 
 if TYPE_CHECKING:
+    from repro.ckpt.supervisor import CampaignReport
     from repro.fault.campaign import FaultCampaignResult
 
 
@@ -160,6 +161,69 @@ def save_report(
         handle.write(markdown_report(results, **kwargs))  # type: ignore[arg-type]
 
 
+def campaign_markdown_report(
+    campaign: "CampaignReport",
+    *,
+    title: str = "Wear-leveling simulation report",
+    baseline_label: str | None = None,
+) -> str:
+    """Render a supervised campaign, degrading gracefully on quarantine.
+
+    The document is :func:`markdown_report` over the cells that finished,
+    prefixed with a supervision table (status, attempt counts, the seeds
+    each attempt ran with) and a quarantine section naming every cell
+    that exhausted its retries — instead of the whole report failing
+    because one cell did.
+    """
+    finished = [cell for cell in campaign.cells if cell.result is not None]
+    supervision_rows = [
+        [
+            cell.label,
+            "ok" if cell.ok else "**quarantined**",
+            cell.attempts,
+            ", ".join(str(seed) for seed in cell.seeds) or "—",
+        ]
+        for cell in campaign.cells
+    ]
+    sections = [
+        f"# {title}",
+        "",
+        "## Supervision",
+        "",
+        f"{len(finished)}/{len(campaign.cells)} cells finished"
+        + ("" if campaign.ok
+           else f"; {len(campaign.quarantined)} quarantined"),
+        "",
+        _markdown_table(
+            ["Configuration", "Status", "Attempts", "Seeds"],
+            supervision_rows,
+        ),
+    ]
+    if campaign.quarantined:
+        sections += ["", "## Quarantined cells", ""]
+        sections += [
+            f"- `{cell.label}` after {cell.attempts} attempt(s): "
+            f"{cell.error or 'unknown failure'}"
+            for cell in campaign.quarantined
+        ]
+    if finished:
+        baseline = baseline_label
+        if baseline is not None and all(
+            cell.label != baseline for cell in finished
+        ):
+            baseline = None  # the baseline itself was quarantined
+        body = markdown_report(
+            [cell.result for cell in finished],  # type: ignore[misc]
+            title=title,
+            baseline_label=baseline,
+        )
+        # Drop the body's duplicate H1; keep everything from "## Summary".
+        sections += ["", body.split("\n", 2)[2]]
+    else:
+        sections += ["", "No cell produced a result.", ""]
+    return "\n".join(sections)
+
+
 def fault_campaign_report(
     campaign: "FaultCampaignResult",
     *,
@@ -186,6 +250,7 @@ def fault_campaign_report(
             [
                 ["host writes acknowledged", campaign.soak_writes],
                 ["blocks retired", campaign.retired_blocks],
+                ["unrecovered faults", campaign.unrecovered_faults],
                 ["recovery erase overhead",
                  f"{campaign.recovery_summary().recovery_erase_overhead:.2f}%"],
                 ["data-integrity violations", len(campaign.soak_violations)],

@@ -71,26 +71,77 @@ class SegmentResampler:
         hi = bisect.bisect_left(self._times, start + self.segment)
         return lo, hi
 
+    def next_segment(self) -> list[Request]:
+        """Materialize the next segment's requests on the global clock.
+
+        The segment's clock base is ``segments_emitted * segment`` — exact
+        float arithmetic identical to the cumulative ``+= segment`` it
+        replaced (the paper's 600.0 s segment is exactly representable, so
+        ``n * 600.0`` equals the running sum bit for bit) — which is what
+        lets a restored resampler resume mid-stream: ``segments_emitted``
+        plus the RNG state fully determine every future request.
+        """
+        assert self.rng is not None
+        clock = self.segments_emitted * self.segment
+        start = self.rng.uniform(0.0, self.duration - self.segment)
+        lo, hi = self._segment_slice(start)
+        requests = [
+            Request(
+                time=clock + (request.time - start),
+                op=request.op,
+                lba=request.lba,
+                sectors=request.sectors,
+            )
+            for request in self.base[lo:hi]
+        ]
+        self.segments_emitted += 1
+        return requests
+
     def iter_requests(self) -> Iterator[Request]:
         """Yield requests forever; ``.time`` grows monotonically.
 
         Each emitted request keeps its offset within the chosen segment,
         shifted onto the global clock.
         """
-        clock = 0.0
-        assert self.rng is not None
         while True:
-            start = self.rng.uniform(0.0, self.duration - self.segment)
-            lo, hi = self._segment_slice(start)
-            for request in self.base[lo:hi]:
-                yield Request(
-                    time=clock + (request.time - start),
-                    op=request.op,
-                    lba=request.lba,
-                    sectors=request.sectors,
-                )
-            clock += self.segment
-            self.segments_emitted += 1
+            yield from self.next_segment()
 
     def __iter__(self) -> Iterator[Request]:
         return self.iter_requests()
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Freeze the stream position: segment count plus RNG state.
+
+        Only valid at a segment boundary (between ``next_segment`` calls),
+        which is where the checkpoint runner takes snapshots.
+        """
+        from repro.util.rng import rng_state_to_json
+
+        assert self.rng is not None
+        return {
+            "base_len": len(self.base),
+            "segment": self.segment,
+            "segments_emitted": self.segments_emitted,
+            "rng": rng_state_to_json(self.rng),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`; rejects base-trace mismatches."""
+        from repro.util.rng import rng_state_from_json
+
+        if state["base_len"] != len(self.base):
+            raise ValueError(
+                f"resampler snapshot covers a base trace of "
+                f"{state['base_len']} requests, this one has {len(self.base)}"
+            )
+        if state["segment"] != self.segment:
+            raise ValueError(
+                f"resampler snapshot segment {state['segment']} does not "
+                f"match {self.segment}"
+            )
+        assert self.rng is not None
+        self.segments_emitted = state["segments_emitted"]  # type: ignore[assignment]
+        self.rng.setstate(rng_state_from_json(state["rng"]))  # type: ignore[arg-type]

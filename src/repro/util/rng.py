@@ -28,6 +28,26 @@ def make_rng(seed: int | None = None) -> random.Random:
     return random.Random(DEFAULT_SEED if seed is None else seed)
 
 
+def rng_state_to_json(rng: random.Random) -> list:
+    """Encode ``rng.getstate()`` as a JSON-friendly nested list.
+
+    The Mersenne-Twister state is a ``(version, tuple-of-ints,
+    gauss_next)`` triple — plain integers and an optional float — so a
+    list round-trips it exactly.  Used by ``repro.ckpt`` to freeze every
+    RNG stream into a checkpoint without pickling.
+    """
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(state: list) -> tuple:
+    """Inverse of :func:`rng_state_to_json`, ready for ``rng.setstate``."""
+    if len(state) != 3:
+        raise ValueError(f"malformed RNG state: expected 3 fields, got {len(state)}")
+    version, internal, gauss_next = state
+    return (version, tuple(internal), gauss_next)
+
+
 def spawn_rng(parent: random.Random, stream: str) -> random.Random:
     """Derive an independent child RNG from ``parent`` for ``stream``.
 

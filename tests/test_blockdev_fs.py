@@ -226,6 +226,17 @@ class TestPersistence:
         assert remounted.listdir() == ["keep"]
         assert remounted.read_file("keep") == payload
 
+    def test_append_never_reallocates_cluster_zero(self):
+        # Regression: a FAT link to cluster 0 used to alias _FAT_FREE, so
+        # appending past the tail could re-allocate a cluster that was
+        # already part of the file's own chain and clobber it.
+        fs, *_ = make_fs(blocks=32, ppb=16)
+        fs.write_file("f1", b"")            # occupies cluster 0
+        fs.write_file("f0", b"\x01" * 246)
+        fs.delete("f1")                     # frees cluster 0
+        fs.append("f0", b"\x01" * 3851)     # chain grows through cluster 0
+        assert fs.read_file("f0") == b"\x01" * (246 + 3851)
+
     def test_fs_workload_wears_flash(self):
         fs, _, stack = make_fs()
         rng = random.Random(2)

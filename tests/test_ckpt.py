@@ -1,0 +1,394 @@
+"""Checkpoint/restore: image format, resumable replay, round-trip laws.
+
+The heart of this suite is the golden-hash pair: an uninterrupted
+fixed-seed replay and one interrupted at a mid-run checkpoint and resumed
+must both produce a ``SimResult.as_dict`` that hashes to the same
+committed constant — the bit-identity contract of :mod:`repro.ckpt`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ckpt import (
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+    CheckpointPolicy,
+    CheckpointTruncatedError,
+    CheckpointVersionError,
+    ReplayInterrupted,
+    build_spec_backend,
+    encode_payload,
+    read_image,
+    resume_spec,
+    run_resumable,
+    write_image,
+)
+from repro.ckpt.image import CHECKPOINT_VERSION, MAGIC
+from repro.core.config import SWLConfig
+from repro.fault.plan import FaultPlan
+from repro.flash.errors import PowerLossError
+from repro.ftl.factory import build_stack
+from repro.sim.experiment import (
+    ExperimentSpec,
+    make_base_trace,
+    run_until_first_failure,
+    scaled_mlc2_geometry,
+    workload_params_for,
+)
+from repro.util.rng import make_rng
+
+#: SHA-256 of the canonical ``SimResult.as_dict`` JSON of the golden
+#: configuration below.  Any change to replay semantics that moves this
+#: hash is a reproducibility break and must be deliberate.
+GOLDEN_SHA256 = (
+    "0b4613179265a40590cfe4f5123c2ee5db75b49fb3e5a886aa94c3f09b36e282"
+)
+
+
+def golden_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        "ftl",
+        scaled_mlc2_geometry(32, scale=100),
+        SWLConfig(enabled=True, threshold=10, k=0),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def golden_trace():
+    spec = golden_spec()
+    params = workload_params_for(spec, duration=1200.0, seed=3)
+    return make_base_trace(params)
+
+
+def result_sha256(result) -> str:
+    blob = json.dumps(
+        result.as_dict(), sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Image container
+# ----------------------------------------------------------------------
+class TestImage:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        payload = {"kind": "test", "values": [1, 2.5, None, "x"], "nested": {"a": 1}}
+        write_image(path, payload)
+        assert read_image(path) == payload
+
+    def test_canonical_encoding_is_order_independent(self):
+        assert encode_payload({"b": 1, "a": 2}) == encode_payload({"a": 2, "b": 1})
+
+    def test_nan_rejected_at_write_time(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_image(tmp_path / "nan.ckpt", {"x": float("nan")})
+        assert not (tmp_path / "nan.ckpt").exists()
+        assert not (tmp_path / "nan.ckpt.tmp").exists()
+
+    def test_atomic_overwrite_keeps_previous_on_error(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_image(path, {"generation": 1})
+        with pytest.raises(ValueError):
+            write_image(path, {"generation": float("inf")})
+        assert read_image(path) == {"generation": 1}
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "short.ckpt"
+        path.write_bytes(b"REPRO")
+        with pytest.raises(CheckpointTruncatedError):
+            read_image(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_image(path, {"k": list(range(100))})
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-5])
+        with pytest.raises(CheckpointTruncatedError):
+            read_image(path)
+
+    def test_bit_flip_rejected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_image(path, {"k": list(range(100))})
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x40
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruptError):
+            read_image(path)
+
+    def test_trailing_garbage_rejected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_image(path, {"k": 1})
+        path.write_bytes(path.read_bytes() + b"\x00")
+        with pytest.raises(CheckpointCorruptError):
+            read_image(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_image(path, {"k": 1})
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruptError, match="magic"):
+            read_image(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        import struct
+
+        path = tmp_path / "a.ckpt"
+        write_image(path, {"k": 1})
+        raw = bytearray(path.read_bytes())
+        raw[8:10] = struct.pack("<H", CHECKPOINT_VERSION + 1)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointVersionError):
+            read_image(path)
+
+    def test_magic_is_the_documented_constant(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_image(path, {"k": 1})
+        assert path.read_bytes()[:8] == MAGIC == b"REPROCKP"
+
+
+# ----------------------------------------------------------------------
+# Resumable replay: the golden-hash bit-identity contract
+# ----------------------------------------------------------------------
+class TestGoldenResume:
+    def test_uninterrupted_matches_golden_hash(self, golden_trace):
+        result = run_resumable(golden_spec(), golden_trace)
+        assert result_sha256(result) == GOLDEN_SHA256
+
+    def test_checkpointing_changes_nothing(self, golden_trace, tmp_path):
+        result = run_resumable(
+            golden_spec(),
+            golden_trace,
+            checkpoint=CheckpointPolicy(tmp_path / "c.ckpt", every_requests=20_000),
+        )
+        assert result_sha256(result) == GOLDEN_SHA256
+
+    def test_interrupted_and_resumed_matches_golden_hash(
+        self, golden_trace, tmp_path
+    ):
+        path = tmp_path / "c.ckpt"
+        with pytest.raises(ReplayInterrupted):
+            run_resumable(
+                golden_spec(),
+                golden_trace,
+                checkpoint=CheckpointPolicy(
+                    path, every_requests=10_000, crash_after=4
+                ),
+            )
+        resumed = run_resumable(golden_spec(), golden_trace, resume_from=path)
+        assert result_sha256(resumed) == GOLDEN_SHA256
+
+    def test_matches_plain_runner(self, golden_trace):
+        spec = golden_spec()
+        plain = run_until_first_failure(spec, golden_trace)
+        resumable = run_resumable(spec, golden_trace)
+        assert plain.as_dict() == resumable.as_dict()
+
+    def test_resume_rejects_wrong_spec(self, golden_trace, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with pytest.raises(ReplayInterrupted):
+            run_resumable(
+                golden_spec(),
+                golden_trace,
+                checkpoint=CheckpointPolicy(path, crash_after=1),
+            )
+        from dataclasses import replace
+
+        other = replace(golden_spec(), seed=8)
+        with pytest.raises(CheckpointMismatchError):
+            run_resumable(other, golden_trace, resume_from=path)
+
+    def test_resume_rejects_wrong_mode(self, golden_trace, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with pytest.raises(ReplayInterrupted):
+            run_resumable(
+                golden_spec(),
+                golden_trace,
+                checkpoint=CheckpointPolicy(path, crash_after=1),
+            )
+        with pytest.raises(CheckpointMismatchError):
+            run_resumable(
+                golden_spec(), golden_trace, horizon=3600.0, resume_from=path
+            )
+
+    def test_resume_rejects_wrong_trace(self, golden_trace, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with pytest.raises(ReplayInterrupted):
+            run_resumable(
+                golden_spec(),
+                golden_trace,
+                checkpoint=CheckpointPolicy(path, crash_after=1),
+            )
+        with pytest.raises(CheckpointMismatchError):
+            run_resumable(golden_spec(), golden_trace[:-1], resume_from=path)
+
+    def test_resume_spec_reads_seed_back(self, golden_trace, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with pytest.raises(ReplayInterrupted):
+            run_resumable(
+                golden_spec(),
+                golden_trace,
+                checkpoint=CheckpointPolicy(path, crash_after=1),
+            )
+        assert resume_spec(golden_spec(), path) == golden_spec()
+
+
+# ----------------------------------------------------------------------
+# Power loss mid-run: checkpoint, crash, restore, invariants (satellite)
+# ----------------------------------------------------------------------
+class TestPowerLossRestore:
+    def _stack(self, plan=None):
+        from repro.fault.injector import FaultInjector
+
+        geometry = scaled_mlc2_geometry(24, scale=100)
+        injector = FaultInjector(plan) if plan is not None else None
+        return build_stack(
+            geometry,
+            "ftl",
+            SWLConfig(enabled=True, threshold=10, k=0),
+            store_data=True,
+            rng=make_rng(11),
+            injector=injector,
+        )
+
+    def test_restore_after_power_loss_keeps_invariants(self, tmp_path):
+        # Erase faults keep recovery machinery busy; the scheduled power
+        # loss lands inside that churn (possibly mid-erase) and kills the
+        # run well after the checkpoint was taken.
+        plan = FaultPlan(seed=5, erase_fail_prob=0.05, power_loss_at=(900,))
+        stack = self._stack(plan)
+        layer = stack.layer
+        rng = make_rng(3)
+        num_pages = layer.num_logical_pages
+        acked: dict[int, bytes] = {}
+        snapshot_acked: dict[int, bytes] = {}
+        path = tmp_path / "mid.ckpt"
+        lost = False
+        for step in range(2000):
+            lpn = rng.randrange(num_pages)
+            payload = f"step={step} lpn={lpn}".encode()
+            try:
+                layer.write(lpn, payload)
+            except PowerLossError:
+                lost = True
+                break
+            acked[lpn] = payload
+            if step == 400:
+                write_image(path, stack.snapshot_state())
+                snapshot_acked = dict(acked)
+        assert lost, "the scheduled power loss never fired"
+        assert snapshot_acked, "checkpoint was never taken"
+
+        restored = self._stack(plan)
+        restored.restore_state(read_image(path))
+        # Crash-consistency invariants on the restored stack: internal
+        # bookkeeping balances, and every write acked before the
+        # checkpoint reads back intact.
+        restored.layer.assert_internal_consistency()
+        for lpn, payload in snapshot_acked.items():
+            assert restored.layer.read(lpn) == payload
+        assert restored.layer.retired_blocks == set(restored.flash.bad_blocks)
+        # The restored stack is live: it keeps absorbing writes.
+        for step in range(50):
+            restored.layer.write(step % num_pages, f"post={step}".encode())
+        restored.layer.assert_internal_consistency()
+
+    def test_power_loss_replay_resumes_identically(self, golden_trace, tmp_path):
+        # End-to-end via the runner: a replay whose fault plan schedules a
+        # power loss, interrupted at a checkpoint before the loss and
+        # resumed, reports the identical (power-lost) result.
+        spec = golden_spec()
+        plan = FaultPlan(seed=5, power_loss_at=(60_000,))
+        clean = run_resumable(spec, golden_trace, fault_plan=plan)
+        assert clean.power_lost
+
+        path = tmp_path / "c.ckpt"
+        with pytest.raises(ReplayInterrupted):
+            run_resumable(
+                spec,
+                golden_trace,
+                fault_plan=plan,
+                checkpoint=CheckpointPolicy(
+                    path, every_requests=5_000, crash_after=2
+                ),
+            )
+        resumed = run_resumable(
+            spec, golden_trace, fault_plan=plan, resume_from=path
+        )
+        assert resumed.power_lost
+        assert resumed.as_dict() == clean.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Round-trip law: snapshot -> restore -> snapshot is byte-identical
+# ----------------------------------------------------------------------
+ROUND_TRIP_CONFIGS = [
+    pytest.param(driver, k, channels, id=f"{driver}-k{k}-ch{channels}")
+    for driver in ("ftl", "nftl")
+    for k in (0, 3)
+    for channels in (1, 4)
+]
+
+
+@pytest.mark.parametrize("driver,k,channels", ROUND_TRIP_CONFIGS)
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    writes=st.lists(st.integers(0, 10_000), min_size=1, max_size=120),
+)
+def test_snapshot_round_trip_is_byte_identical(driver, k, channels, seed, writes):
+    """snapshot -> restore-into-fresh-stack -> snapshot, byte for byte."""
+    spec = ExperimentSpec(
+        driver,
+        scaled_mlc2_geometry(24, scale=100),
+        SWLConfig(enabled=True, threshold=8, k=k),
+        seed=seed,
+        channels=channels,
+    )
+    backend = build_spec_backend(spec)
+    pages = backend.num_logical_pages
+    for lpn in writes:
+        backend.write_pages([lpn % pages])
+    first = encode_payload(backend.snapshot_state())
+
+    fresh = build_spec_backend(spec)
+    fresh.restore_state(json.loads(first))
+    second = encode_payload(fresh.snapshot_state())
+    assert first == second
+
+
+@pytest.mark.parametrize("driver,k,channels", ROUND_TRIP_CONFIGS)
+def test_restored_backend_behaves_identically(driver, k, channels):
+    """After restore, both stacks evolve in lockstep under more writes."""
+    spec = ExperimentSpec(
+        driver,
+        scaled_mlc2_geometry(24, scale=100),
+        SWLConfig(enabled=True, threshold=8, k=k),
+        seed=21,
+        channels=channels,
+    )
+    backend = build_spec_backend(spec)
+    pages = backend.num_logical_pages
+    rng = make_rng(9)
+    for _ in range(300):
+        backend.write_pages([rng.randrange(pages)])
+    frozen = json.loads(encode_payload(backend.snapshot_state()))
+
+    twin = build_spec_backend(spec)
+    twin.restore_state(frozen)
+    tail_rng = make_rng(10)
+    tail = [tail_rng.randrange(pages) for _ in range(200)]
+    for lpn in tail:
+        backend.write_pages([lpn])
+        twin.write_pages([lpn])
+    assert encode_payload(backend.snapshot_state()) == encode_payload(
+        twin.snapshot_state()
+    )

@@ -94,6 +94,23 @@ class TestFaultsCommand:
         assert code == 2
         assert "--channels must be 1" in capsys.readouterr().err
 
+    def test_unrecovered_fault_exits_nonzero(self, capsys, monkeypatch):
+        from repro.ftl.base import TranslationLayer
+
+        monkeypatch.setattr(
+            TranslationLayer,
+            "failed_blocks",
+            property(lambda self: frozenset({5})),
+        )
+        code = main([
+            "faults", "--blocks", "24", "--scale", "100",
+            "--soak-writes", "200", "--loss-points", "2", "--seed", "3",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "unrecovered" in out
+
 
 class TestSweep:
     def test_sweep_table(self, capsys):
@@ -106,6 +123,31 @@ class TestSweep:
         assert "First-failure sweep" in out
         assert "vs baseline" in out
         assert "NFTL+SWL+k=0+T=10" in out
+
+    def test_supervised_sweep_resumes_and_reports_attempts(
+        self, capsys, tmp_path
+    ):
+        workdir = tmp_path / "campaign"
+        report_path = tmp_path / "sweep.md"
+        argv = [
+            "sweep", "--blocks", "24", "--scale", "100", "--driver", "ftl",
+            "--thresholds", "10", "--ks", "0", "--seed", "3",
+            "--resume", str(workdir), "--workers", "2",
+            "--report", str(report_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Supervised first-failure sweep" in first
+        assert "Attempts" in first
+        document = report_path.read_text()
+        assert "## Supervision" in document
+        assert "| Attempts |" in document
+        # Cell state persists: a re-run adopts every finished cell and
+        # prints the same table without recomputing.
+        assert (workdir / "cell-000" / "result.pkl").exists()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[:8] == second.splitlines()[:8]
 
 
 class TestParser:

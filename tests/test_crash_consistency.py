@@ -94,6 +94,29 @@ class TestAcceptanceCampaign:
         assert result.crash_report.crashes >= 45
         assert result.soak_writes > 0
 
+    def test_unrecovered_fault_fails_the_gate(self, monkeypatch):
+        # Simulate a driver that drops a recovery on the floor: a block
+        # condemned by a fault but never retired must flip the campaign
+        # verdict (and therefore the ``repro faults`` exit code).
+        from repro.ftl.base import TranslationLayer
+
+        monkeypatch.setattr(
+            TranslationLayer,
+            "failed_blocks",
+            property(lambda self: frozenset({3})),
+        )
+        result = run_fault_campaign(
+            scaled_mlc2_geometry(32, scale=5),
+            "ftl",
+            plan=ACCEPTANCE_PLAN,
+            seed=3,
+            soak_writes=200,
+            loss_points=2,
+        )
+        assert not result.ok
+        assert result.unrecovered_faults == 1
+        assert any("unrecovered" in v for v in result.soak_violations)
+
     def test_campaign_report_roundtrip(self):
         from repro.sim.reporting import fault_campaign_report
 
