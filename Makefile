@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick bench-trajectory bench-hotpath examples clean
+.PHONY: install test bench bench-quick bench-trajectory bench-hotpath scale-gate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +32,10 @@ bench-trajectory:
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --check-golden
+
+# On-runner scale-feature budgets (telemetry overhead, parallel sweep).
+scale-gate:
+	PYTHONPATH=src $(PYTHON) scripts/scale_gate.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done

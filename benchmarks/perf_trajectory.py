@@ -6,15 +6,19 @@ comparable breadcrumb trail:
 
 * **Replay throughput** — requests/second through the simulation engine
   for the classic single-channel stack and a 4-channel page-interleaved
-  array, same workload;
+  array, same workload.  Wall-clock points are best-of-``REPEATS``: the
+  shortest of a few alternating runs, which rejects scheduler noise on
+  shared runners without averaging in outliers;
 * **Table-2 extra-erase deltas** — the measured extra block erases of
   SWL (T = 100 and T = 1000) over the no-SWL baseline, next to the
   paper's analytic worst-case ratios for the matching Table 2 rows (the
   measured average-case must sit far below the worst case);
 * **run_matrix parallelism** — wall-clock of a 4-spec sweep serial vs
   ``workers=4`` plus a result-equality check.  Speedup depends on the
-  host's core count (recorded alongside); on a single-core runner the
-  process pool cannot win and the point documents that honestly;
+  host's core count, so the point records ``cpu_count`` and a
+  ``speedup_meaningful`` flag: on a runner with fewer cores than
+  workers the process pool cannot win, and the speedup target is
+  annotated as not applicable rather than reported as a regression;
 * **telemetry overhead** — replay req/s with telemetry off vs on
   (metrics collector attached, no file exporters), guarding the
   :mod:`repro.obs` off-path contract: the *off* point must track the
@@ -53,6 +57,19 @@ SCALE = 100
 HORIZON = 1.0 * 86_400.0
 SEED = 7
 
+#: Timed points take the best (shortest) of this many runs.  The replay
+#: is deterministic, so run-to-run wall-clock differences are host noise;
+#: the minimum is the least-contended observation of the same work.
+#: Five alternating pairs, because the single- vs four-channel gap this
+#: point tracks is smaller than the round-to-round noise on a shared
+#: runner and the minimum only stabilises with a few extra samples.
+REPEATS = 5
+
+#: The telemetry on/off comparison is the headline overhead figure and
+#: the two sides differ by well under the host's noise floor, so it gets
+#: extra alternating pairs.
+TELEMETRY_REPEATS = 5
+
 
 def _git_revision() -> str | None:
     try:
@@ -72,28 +89,50 @@ def _shared_trace(spec: ExperimentSpec):
     return workload.requests(), workload.prefill_requests()
 
 
+def _timed_run(spec: ExperimentSpec, trace, warmup, telemetry=None):
+    """One replay; returns ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = run_fixed_horizon(spec, trace, HORIZON, warmup=warmup,
+                               telemetry=telemetry)
+    return result, time.perf_counter() - start
+
+
 def measure_throughput() -> dict[str, object]:
     """Requests/second: single stack vs a 4-channel array, same trace."""
     geometry = scaled_mlc2_geometry(BLOCKS, scale=SCALE)
     single = ExperimentSpec("ftl", geometry, SWLConfig(threshold=100, k=0),
                             seed=SEED)
     trace, warmup = _shared_trace(single)
-    points = {}
-    for label, spec in (
+    configs = (
         ("single_channel", single),
         ("four_channel_global", ExperimentSpec(
             "ftl", geometry, SWLConfig(threshold=100, k=0), seed=SEED,
             channels=4, striping="page", swl_scope="global",
         )),
-    ):
-        start = time.perf_counter()
-        result = run_fixed_horizon(spec, trace, HORIZON, warmup=warmup)
-        elapsed = time.perf_counter() - start
+    )
+    # Alternate the configurations so slow drift in host load lands on
+    # both sides of the single-vs-multi-channel comparison — and flip
+    # which one leads on every pair: host slowdown is typically
+    # monotone within the measurement window, so a fixed leader would
+    # systematically get the less-contended slot.
+    walls: dict[str, list[float]] = {label: [] for label, _ in configs}
+    results = {}
+    for repeat in range(REPEATS):
+        ordered = configs if repeat % 2 == 0 else tuple(reversed(configs))
+        for label, spec in ordered:
+            result, elapsed = _timed_run(spec, trace, warmup)
+            results[label] = result
+            walls[label].append(elapsed)
+    points = {}
+    for label, _ in configs:
+        best = min(walls[label])
+        result = results[label]
         points[label] = {
             "label": result.label,
             "requests": result.requests,
-            "wall_s": round(elapsed, 3),
-            "requests_per_s": round(result.requests / elapsed, 1),
+            "wall_s": round(best, 3),
+            "requests_per_s": round(result.requests / best, 1),
+            "repeats": REPEATS,
         }
     return points
 
@@ -145,21 +184,34 @@ def measure_run_matrix_parallel() -> dict[str, object]:
     start = time.perf_counter()
     serial = run_matrix(specs, trace, horizon=HORIZON, warmup=warmup)
     serial_s = time.perf_counter() - start
+    workers = 4
     start = time.perf_counter()
     parallel = run_matrix(specs, trace, horizon=HORIZON, warmup=warmup,
-                          workers=4)
+                          workers=workers)
     parallel_s = time.perf_counter() - start
     identical = all(
         a.as_dict() == b.as_dict() for a, b in zip(serial, parallel)
     )
-    return {
+    cpus = os.cpu_count() or 1
+    point: dict[str, object] = {
         "specs": len(specs),
-        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "cpu_count": cpus,
         "serial_wall_s": round(serial_s, 3),
         "workers4_wall_s": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 3),
+        # A process pool can only beat serial replay when the host has
+        # spare cores; below that the point documents pool overhead, not
+        # a scheduling regression, and speedup targets do not apply.
+        "speedup_meaningful": cpus >= 2,
         "results_identical": identical,
     }
+    if cpus < workers:
+        point["note"] = (
+            f"host has {cpus} CPU(s) < workers={workers}; "
+            "speedup target not applicable on this runner"
+        )
+    return point
 
 
 def measure_telemetry_overhead() -> dict[str, object]:
@@ -175,15 +227,22 @@ def measure_telemetry_overhead() -> dict[str, object]:
                           seed=SEED)
     trace, warmup = _shared_trace(spec)
 
-    start = time.perf_counter()
-    off = run_fixed_horizon(spec, trace, HORIZON, warmup=warmup)
-    off_s = time.perf_counter() - start
-
-    telemetry = Telemetry(heatmap_interval=HORIZON / 16)
-    start = time.perf_counter()
-    on = run_fixed_horizon(spec, trace, HORIZON, warmup=warmup,
-                           telemetry=telemetry)
-    on_s = time.perf_counter() - start
+    # Alternate off/on runs so slow drift in host load hits both sides,
+    # then take the best of each: the overhead of deterministic work is
+    # the gap between the least-contended observations.
+    off_walls: list[float] = []
+    on_walls: list[float] = []
+    off = on = None
+    telemetry = None
+    for _ in range(TELEMETRY_REPEATS):
+        off, off_s = _timed_run(spec, trace, warmup)
+        off_walls.append(off_s)
+        telemetry = Telemetry(heatmap_interval=HORIZON / 16)
+        on, on_s = _timed_run(spec, trace, warmup, telemetry=telemetry)
+        on_walls.append(on_s)
+    assert off is not None and on is not None and telemetry is not None
+    off_s = min(off_walls)
+    on_s = min(on_walls)
 
     off_dict, on_dict = off.as_dict(), on.as_dict()
     on_dict.pop("heatmap_snapshots", None)
@@ -194,6 +253,7 @@ def measure_telemetry_overhead() -> dict[str, object]:
         "off_requests_per_s": round(off.requests / off_s, 1),
         "on_requests_per_s": round(on.requests / on_s, 1),
         "overhead_pct": round(100.0 * (on_s - off_s) / off_s, 2),
+        "repeats": TELEMETRY_REPEATS,
         "results_identical_minus_telemetry": off_dict == on_dict,
         "events_collected": int(
             telemetry.snapshot()
@@ -231,6 +291,8 @@ def main(argv: list[str]) -> int:
           f"serial, {matrix['workers4_wall_s']}s with workers=4 "
           f"(speedup {matrix['speedup']}x on {matrix['cpu_count']} CPUs, "
           f"identical={matrix['results_identical']})")
+    if not matrix["speedup_meaningful"]:
+        print(f"    note: {matrix['note']}")
     telemetry = point["telemetry"]
     print(f"  telemetry: {telemetry['off_requests_per_s']} req/s off, "
           f"{telemetry['on_requests_per_s']} req/s on "

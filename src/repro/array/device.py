@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.array.coordinator import WearCoordinator
 from repro.array.striping import StripingPolicy, make_striping
 from repro.core.config import SWLConfig
+from repro.core.leveler import RequestClock
 from repro.flash.chip import FirstFailure
 from repro.flash.errors import PowerLossError
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION
@@ -89,6 +90,88 @@ class DeviceArray:
         self.shards = list(shards)
         self.striping = striping
         self.coordinator = coordinator
+        # Dispatcher hot-path state: reusable per-shard batch buffers
+        # (cleared after every request, so no allocation per dispatch)
+        # and precomputed component lists that save a property chain per
+        # request (`shard.first_failure` / `shard.on_request` are hops
+        # through dataclass properties).  Wiring identity is stable —
+        # checkpoint restore overwrites component *state* in place — so
+        # these lists never go stale.
+        self._buffers: list[list[int]] = [[] for _ in self.shards]
+        self._flashes = [shard.flash for shard in self.shards]
+        self._layers = [shard.layer for shard in self.shards]
+        # Fused dispatchers (repro.array.striping): the striping policy
+        # compiles its routing arithmetic around the shard page
+        # operations once, so replaying a request is a single closure
+        # call.  Bound as *instance* attributes they shadow the generic
+        # methods below, which remain the fallback for non-fusing
+        # policies and for batch shapes the closures delegate back
+        # (multi-page non-range sequences, e.g. lba-modulo wraps).
+        write_dispatch = striping.compile_pages_dispatch(
+            [layer.write for layer in self._layers],
+            _count_power_loss_pages,
+            self.write_pages,
+        )
+        if write_dispatch is not None:
+            self.write_pages = write_dispatch  # type: ignore[method-assign]
+        read_dispatch = striping.compile_pages_dispatch(
+            [layer.read for layer in self._layers],
+            _count_power_loss_pages,
+            self.read_pages,
+        )
+        if read_dispatch is not None:
+            self.read_pages = read_dispatch  # type: ignore[method-assign]
+        # The engine polls first_failure once per request, so it is a
+        # plain data attribute: each chip's one-shot failure sink
+        # re-derives it (at most N times per run) and the poll costs an
+        # attribute load.  `_scan_first_failure` keeps the original
+        # property semantics — first failing shard in index order, which
+        # is deterministic because shards advance in lock-step with the
+        # request stream.  Checkpoint restore re-derives it from the
+        # restored chip state.
+        self.first_failure: FirstFailure | None = self._scan_first_failure()
+        for flash in self._flashes:
+            flash.failure_sink = self._note_first_failure
+        self._levelers = [
+            shard.leveler for shard in self.shards
+            if shard.leveler is not None
+        ]
+        # Every shard leveler observes every host request, so their
+        # request clocks always agree — share one instance and advance
+        # it once per request instead of once per shard.  Safe at build
+        # time: the clocks are all zero, and checkpoint restore writes
+        # the (identical) per-leveler counters into the shared instance.
+        self._req_clock = RequestClock()
+        for leveler in self._levelers:
+            leveler.clock = self._req_clock
+        # With the paper's erase-driven trigger on every shard (the
+        # default), a request carries no per-leveler work at all — skip
+        # the shard loop outright.  Safe to precompute: triggers are
+        # wired once at construction (config._make_trigger) and never
+        # reassigned on live stacks.
+        self._any_request_driven = any(
+            leveler._request_driven for leveler in self._levelers
+        )
+        # Lazy merged-distribution cache keyed on per-shard wear moments
+        # (total, sum_sq, maximum, minimum) — exactly the quantities a
+        # merged EraseDistribution is derived from, so a key hit is
+        # guaranteed to reproduce the cached value.  Any erase on any
+        # shard changes that shard's total and invalidates the key.
+        self._dist_cache: tuple[tuple[tuple[int, int, int, int], ...],
+                                "EraseDistribution"] | None = None
+        self._shard_dists_cache: tuple[
+            tuple[tuple[int, int, int, int], ...], list["EraseDistribution"]
+        ] | None = None
+
+    def _scan_first_failure(self) -> FirstFailure | None:
+        for flash in self._flashes:
+            failure = flash.first_failure
+            if failure is not None:
+                return failure
+        return None
+
+    def _note_first_failure(self) -> None:
+        self.first_failure = self._scan_first_failure()
 
     # ------------------------------------------------------------------
     # StorageBackend protocol
@@ -120,48 +203,86 @@ class DeviceArray:
         in ascending index so replays are deterministic regardless of the
         span's starting channel.
         """
-        batches: dict[int, list[int]] = {}
-        for lpn in lpns:
-            shard, local = self.striping.route(lpn)
-            batches.setdefault(shard, []).append(local)
-        return sorted(batches.items())
+        buffers: list[list[int]] = [[] for _ in self.shards]
+        self.striping.route_batch(lpns, buffers)
+        return [
+            (shard, batch) for shard, batch in enumerate(buffers) if batch
+        ]
 
     def write_pages(self, lpns: Sequence[int]) -> int:
+        """Generic batched dispatcher: route, group per shard, apply.
+
+        Striping policies that can compile a fused dispatcher shadow
+        this method with an instance-bound closure (see ``__init__``);
+        it then only serves the closure's fallback shapes.  Single-page
+        batches route once and call straight into the shard's driver —
+        identical to a 1-element batch through its write_pages (page
+        accounting included).
+        """
+        if len(lpns) == 1:
+            shard, local = self.striping.route(lpns[0])
+            try:
+                self._layers[shard].write(local)
+            except PowerLossError as exc:
+                _count_power_loss_pages(exc, 0)
+                raise
+            return 1
         done = 0
+        buffers = self._buffers
+        shards = self.shards
         try:
-            for shard, batch in self._group(lpns):
-                done += self.shards[shard].write_pages(batch)
+            self.striping.route_batch(lpns, buffers)
+            for index, batch in enumerate(buffers):
+                if batch:
+                    done += shards[index].write_pages(batch)
         except PowerLossError as exc:
             _count_power_loss_pages(exc, done)
             raise
+        finally:
+            for batch in buffers:
+                if batch:
+                    batch.clear()
         return done
 
     def read_pages(self, lpns: Sequence[int]) -> int:
+        if len(lpns) == 1:
+            shard, local = self.striping.route(lpns[0])
+            try:
+                self._layers[shard].read(local)
+            except PowerLossError as exc:
+                _count_power_loss_pages(exc, 0)
+                raise
+            return 1
         done = 0
+        buffers = self._buffers
+        shards = self.shards
         try:
-            for shard, batch in self._group(lpns):
-                done += self.shards[shard].read_pages(batch)
+            self.striping.route_batch(lpns, buffers)
+            for index, batch in enumerate(buffers):
+                if batch:
+                    done += shards[index].read_pages(batch)
         except PowerLossError as exc:
             _count_power_loss_pages(exc, done)
             raise
+        finally:
+            for batch in buffers:
+                if batch:
+                    batch.clear()
         return done
 
     def on_request(self, now: float) -> None:
-        for shard in self.shards:
-            shard.on_request(now)
-
-    @property
-    def first_failure(self) -> FirstFailure | None:
-        """The first shard-local wear-out record, or ``None``.
-
-        The replay engine pins the failure *time* the moment this turns
-        non-``None``; scanning shards in index order is deterministic
-        because all shards advance in lock-step with the request stream.
-        """
-        for shard in self.shards:
-            if shard.first_failure is not None:
-                return shard.first_failure
-        return None
+        # SWLeveler.on_request inlined across shards: the shared request
+        # clock advances once for all of them, and with the paper's
+        # erase-driven trigger (the common case) the per-leveler work is
+        # a flag test — a call frame per shard per request would cost
+        # more than the work itself.
+        clock = self._req_clock
+        clock.requests += 1
+        clock.now = now
+        if self._any_request_driven:
+            for leveler in self._levelers:
+                if leveler._request_driven and not leveler._in_procedure:
+                    leveler._request_tick()
 
     @property
     def erase_counts(self) -> list[int]:
@@ -174,22 +295,44 @@ class DeviceArray:
     def shard_erase_counts(self) -> list[list[int]]:
         return [list(shard.erase_counts) for shard in self.shards]
 
+    def _wear_key(self) -> tuple[tuple[int, int, int, int], ...]:
+        """Per-shard wear moments; changes whenever any block is erased."""
+        return tuple(
+            (wear.total, wear.sum_sq, wear.maximum, wear.minimum)
+            for wear in (flash.wear for flash in self._flashes)
+        )
+
     def erase_distribution(self) -> EraseDistribution:
         """Array-wide wear summary: exact integer merge of shard moments.
 
         Each shard snapshot is O(1) from its accumulator and the merge
         sums exact integer moments, so the result equals
         ``EraseDistribution.from_counts`` over the concatenated counts
-        bit for bit at O(num_shards) cost.
+        bit for bit at O(num_shards) cost.  The merged value is cached
+        against the per-shard moments (every erase changes them), so
+        repeated stat reads between erases — the engine samples wear far
+        more often than blocks wear — cost a tuple compare.
         """
         from repro.sim.metrics import EraseDistribution
 
-        return EraseDistribution.merge(
+        key = self._wear_key()
+        cached = self._dist_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        merged = EraseDistribution.merge(
             [shard.erase_distribution() for shard in self.shards]
         )
+        self._dist_cache = (key, merged)
+        return merged
 
     def shard_erase_distributions(self) -> list[EraseDistribution]:
-        return [shard.erase_distribution() for shard in self.shards]
+        key = self._wear_key()
+        cached = self._shard_dists_cache
+        if cached is not None and cached[0] == key:
+            return list(cached[1])
+        dists = [shard.erase_distribution() for shard in self.shards]
+        self._shard_dists_cache = (key, dists)
+        return list(dists)
 
     def wear_heatmap(self, ts: float, bins: int = 64) -> WearHeatmap:
         """Array-wide heatmap over the concatenated block space.
@@ -282,6 +425,7 @@ class DeviceArray:
             )
         for shard, shard_state in zip(self.shards, state["shards"]):  # type: ignore[arg-type]
             shard.restore_state(shard_state)
+        self.first_failure = self._scan_first_failure()
         if self.coordinator is not None:
             self.coordinator.restore_state(coordinator_state)  # type: ignore[arg-type]
 

@@ -23,6 +23,9 @@ Both are bijections over ``[0, num_shards * pages_per_shard)``; a
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.flash.errors import PowerLossError
 
 
 class StripingPolicy(ABC):
@@ -48,11 +51,10 @@ class StripingPolicy(ABC):
             )
         self.num_shards = num_shards
         self.pages_per_shard = pages_per_shard
-
-    @property
-    def total_pages(self) -> int:
-        """Logical pages exported by the whole array."""
-        return self.num_shards * self.pages_per_shard
+        #: Logical pages exported by the whole array.  A plain attribute,
+        #: not a property: ``route``/``route_batch`` read it per call on
+        #: the dispatcher hot path.
+        self.total_pages = num_shards * pages_per_shard
 
     def check(self, lpn: int) -> None:
         if not 0 <= lpn < self.total_pages:
@@ -68,6 +70,61 @@ class StripingPolicy(ABC):
     def unroute(self, shard: int, local_lpn: int) -> int:
         """``(shard, local LPN)`` -> array LPN (inverse of :meth:`route`)."""
 
+    def route_batch(
+        self, lpns: "Sequence[int]", buffers: list[list[int]]
+    ) -> None:
+        """Route many LPNs, appending each local LPN to its shard's buffer.
+
+        ``buffers`` must hold one list per shard; request order is
+        preserved within each.  Equivalent to calling :meth:`route` per
+        LPN (same range errors), but concrete policies inline the
+        address arithmetic so the dispatcher hot path pays no per-page
+        method call or tuple build.
+        """
+        for lpn in lpns:
+            shard, local = self.route(lpn)
+            buffers[shard].append(local)
+
+    def route_span(
+        self, start: int, stop: int
+    ) -> list[tuple[int, range]] | None:
+        """Route the contiguous span ``[start, stop)`` as per-shard ranges.
+
+        Returns one ``(shard, local range)`` batch per touched shard in
+        ascending shard order, each local range ascending — exactly the
+        batches :meth:`route_batch` would build for the same ascending
+        span, without the per-page arithmetic.  Policies whose local
+        image of a span is not contiguous return ``None``; callers then
+        fall back to :meth:`route_batch`.
+        """
+        return None
+
+    def compile_pages_dispatch(
+        self,
+        page_ops: Sequence[Callable[[int], object]],
+        on_power_loss: Callable[[PowerLossError, int], None],
+        fallback: Callable[[Sequence[int]], int],
+    ) -> Callable[[Sequence[int]], int] | None:
+        """Compile a complete page-batch dispatcher for this policy.
+
+        The returned closure ``dispatch(lpns) -> pages`` is a drop-in
+        ``write_pages``/``read_pages`` body: contiguous ascending ranges
+        (the engine's multi-page request shape) and single-element
+        batches are served with the routing constants and per-shard
+        ``page_ops`` bound as locals — one call frame per request, no
+        policy method calls, no intermediate batches.  Anything else is
+        delegated to ``fallback`` (the generic buffered path).
+
+        Spans are applied shard by shard in ascending index and
+        ascending local order — the same visit order as
+        :meth:`route_batch` feeding per-shard batches, which is what
+        keeps a compiled array bit-identical to the generic dispatcher.
+        On a :class:`PowerLossError` the closure reports the pages
+        completed before the loss through ``on_power_loss(exc, done)``
+        and re-raises.  Policies that cannot fuse return ``None``.
+        """
+        return None
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(shards={self.num_shards}, "
@@ -81,8 +138,127 @@ class PageInterleaved(StripingPolicy):
     name = "page"
 
     def route(self, lpn: int) -> tuple[int, int]:
-        self.check(lpn)
+        if not 0 <= lpn < self.total_pages:
+            self.check(lpn)
         return lpn % self.num_shards, lpn // self.num_shards
+
+    def route_batch(
+        self, lpns: Sequence[int], buffers: list[list[int]]
+    ) -> None:
+        shards = self.num_shards
+        total = self.total_pages
+        for lpn in lpns:
+            if 0 <= lpn < total:
+                buffers[lpn % shards].append(lpn // shards)
+            else:
+                self.check(lpn)
+
+    def route_span(
+        self, start: int, stop: int
+    ) -> list[tuple[int, range]] | None:
+        # Shard s owns the lpns ≡ s (mod N); within an ascending span they
+        # are N apart, so their local images (lpn // N) are consecutive.
+        if start < 0:
+            self.check(start)
+        if stop > self.total_pages:
+            self.check(stop - 1)
+        shards = self.num_shards
+        batches: list[tuple[int, range]] = []
+        for shard in range(shards):
+            first = start + (shard - start) % shards
+            if first >= stop:
+                continue
+            last = first + (stop - 1 - first) // shards * shards
+            batches.append(
+                (shard, range(first // shards, last // shards + 1))
+            )
+        return batches
+
+    def compile_pages_dispatch(
+        self,
+        page_ops: Sequence[Callable[[int], object]],
+        on_power_loss: Callable[[PowerLossError, int], None],
+        fallback: Callable[[Sequence[int]], int],
+    ) -> Callable[[Sequence[int]], int] | None:
+        shards = self.num_shards
+        total = self.total_pages
+        check = self.check
+        ops = tuple(page_ops)
+        if len(ops) != shards:
+            raise ValueError(
+                f"{shards} shards but {len(ops)} page operations"
+            )
+
+        def dispatch(lpns: Sequence[int]) -> int:
+            if type(lpns) is range and lpns.step == 1:
+                start = lpns.start
+                stop = lpns.stop
+                if start < 0:
+                    check(start)
+                if stop > total:
+                    check(stop - 1)
+                # Shard s owns the span lpns ≡ s (mod N); their local
+                # images (lpn // N) are consecutive, so each shard's
+                # share is a plain local range.  With the span anchor
+                # divided once up front (q0, r0), a shard needs just one
+                # division — for its page count — and no per-page
+                # arithmetic at all.
+                q0 = start // shards
+                r0 = start - q0 * shards
+                n = stop - start
+                done = 0
+                if n <= shards:
+                    # Tiny span: at most one page per shard, so the
+                    # count division and local range disappear; still
+                    # visited in ascending shard order.
+                    try:
+                        for shard in range(shards):
+                            offset = shard - r0
+                            if offset < 0:
+                                if offset + shards >= n:
+                                    continue
+                                ops[shard](q0 + 1)
+                            else:
+                                if offset >= n:
+                                    continue
+                                ops[shard](q0)
+                            done += 1
+                    except PowerLossError as exc:
+                        on_power_loss(exc, done)
+                        raise
+                    return done
+                for shard in range(shards):
+                    offset = shard - r0
+                    if offset < 0:
+                        offset += shards
+                        lo = q0 + 1
+                    else:
+                        lo = q0
+                    if offset >= n:
+                        continue
+                    count = (n - 1 - offset) // shards + 1
+                    op = ops[shard]
+                    try:
+                        for local in range(lo, lo + count):
+                            op(local)
+                    except PowerLossError as exc:
+                        on_power_loss(exc, done + local - lo)
+                        raise
+                    done += count
+                return done
+            if len(lpns) == 1:
+                lpn = lpns[0]
+                if not 0 <= lpn < total:
+                    check(lpn)
+                try:
+                    ops[lpn % shards](lpn // shards)
+                except PowerLossError as exc:
+                    on_power_loss(exc, 0)
+                    raise
+                return 1
+            return fallback(lpns)
+
+        return dispatch
 
     def unroute(self, shard: int, local_lpn: int) -> int:
         return local_lpn * self.num_shards + shard
@@ -94,8 +270,94 @@ class ContiguousRange(StripingPolicy):
     name = "range"
 
     def route(self, lpn: int) -> tuple[int, int]:
-        self.check(lpn)
+        if not 0 <= lpn < self.total_pages:
+            self.check(lpn)
         return lpn // self.pages_per_shard, lpn % self.pages_per_shard
+
+    def route_batch(
+        self, lpns: Sequence[int], buffers: list[list[int]]
+    ) -> None:
+        per_shard = self.pages_per_shard
+        total = self.total_pages
+        for lpn in lpns:
+            if 0 <= lpn < total:
+                buffers[lpn // per_shard].append(lpn % per_shard)
+            else:
+                self.check(lpn)
+
+    def route_span(
+        self, start: int, stop: int
+    ) -> list[tuple[int, range]] | None:
+        # A span intersected with shard s's contiguous slice is itself
+        # contiguous; shifting by the slice base gives the local range.
+        if start < 0:
+            self.check(start)
+        if stop > self.total_pages:
+            self.check(stop - 1)
+        if start >= stop:
+            return []
+        per_shard = self.pages_per_shard
+        batches: list[tuple[int, range]] = []
+        for shard in range(start // per_shard, (stop - 1) // per_shard + 1):
+            base = shard * per_shard
+            batches.append(
+                (shard,
+                 range(max(start, base) - base,
+                       min(stop, base + per_shard) - base))
+            )
+        return batches
+
+    def compile_pages_dispatch(
+        self,
+        page_ops: Sequence[Callable[[int], object]],
+        on_power_loss: Callable[[PowerLossError, int], None],
+        fallback: Callable[[Sequence[int]], int],
+    ) -> Callable[[Sequence[int]], int] | None:
+        per_shard = self.pages_per_shard
+        total = self.total_pages
+        check = self.check
+        ops = tuple(page_ops)
+        if len(ops) != self.num_shards:
+            raise ValueError(
+                f"{self.num_shards} shards but {len(ops)} page operations"
+            )
+
+        def dispatch(lpns: Sequence[int]) -> int:
+            if type(lpns) is range and lpns.step == 1:
+                start = lpns.start
+                stop = lpns.stop
+                if start < 0:
+                    check(start)
+                if stop > total:
+                    check(stop - 1)
+                done = 0
+                for shard in range(start // per_shard,
+                                   (stop - 1) // per_shard + 1):
+                    base = shard * per_shard
+                    lo = start - base if start > base else 0
+                    hi = stop - base if stop - base < per_shard else per_shard
+                    op = ops[shard]
+                    try:
+                        for local in range(lo, hi):
+                            op(local)
+                    except PowerLossError as exc:
+                        on_power_loss(exc, done + local - lo)
+                        raise
+                    done += hi - lo
+                return done
+            if len(lpns) == 1:
+                lpn = lpns[0]
+                if not 0 <= lpn < total:
+                    check(lpn)
+                try:
+                    ops[lpn // per_shard](lpn % per_shard)
+                except PowerLossError as exc:
+                    on_power_loss(exc, 0)
+                    raise
+                return 1
+            return fallback(lpns)
+
+        return dispatch
 
     def unroute(self, shard: int, local_lpn: int) -> int:
         return shard * self.pages_per_shard + local_lpn

@@ -33,6 +33,7 @@ from repro.core.policies import (
     SequentialSelection,
     TriggerPolicy,
 )
+from repro.obs.bus import M_BET_RESET, M_SWL_INVOKE
 from repro.obs.events import BetReset as BetResetEvent
 from repro.obs.events import SwlInvoke as SwlInvokeEvent
 from repro.util.diagnostics import leveler_log
@@ -119,6 +120,23 @@ class SWLStats:
         }
 
 
+class RequestClock:
+    """Request counter and host clock a leveler's trigger policy reads.
+
+    Standalone stacks give every leveler its own clock; a
+    :class:`~repro.array.DeviceArray` installs one *shared* instance
+    across its shard levelers, because each of them observes every host
+    request anyway — one ``requests += 1`` then replaces one store per
+    shard on the per-request hot path, with identical counter values.
+    """
+
+    __slots__ = ("requests", "now")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.now = 0.0
+
+
 class SWLeveler:
     """Static wear leveler (SW Leveler) for a Flash Translation Layer.
 
@@ -160,7 +178,7 @@ class SWLeveler:
         self.threshold = threshold
         self.bet = BlockErasingTable(num_blocks, k)
         self.selection = selection or SequentialSelection()
-        self.trigger = trigger or OnEraseTrigger()
+        self.trigger = trigger or OnEraseTrigger()  # property: caches kind
         self.rng = rng or make_rng()
         #: Cyclic scan cursor of Algorithm 1 ("the index in the selection
         #: of a block set for static wear leveling").
@@ -174,8 +192,8 @@ class SWLeveler:
         self._in_procedure = False
         self._suspended = 0
         self._deferred_check = False
-        self._requests_seen = 0
-        self._now = 0.0
+        #: Request/time counters; an array swaps in a shared instance.
+        self.clock = RequestClock()
         #: Array-scale coordination hook.  ``None`` (standalone stacks)
         #: keeps the paper's behaviour: every fired trigger evaluates this
         #: leveler's own threshold.  A :class:`~repro.array.coordinator.
@@ -204,8 +222,9 @@ class SWLeveler:
         self.bet.record_erase(block)
         if self._in_procedure:
             return
+        clock = self.clock
         if self.trigger.should_check(
-            erases=self.bet.ecnt, requests=self._requests_seen, now=self._now
+            erases=self.bet.ecnt, requests=clock.requests, now=clock.now
         ):
             if self._suspended:
                 self._note_deferred()
@@ -275,19 +294,44 @@ class SWLeveler:
         """Flag indices permanently excluded from selection."""
         return frozenset(self._retired_flags)
 
+    @property
+    def trigger(self) -> TriggerPolicy:
+        """The trigger policy; assignment refreshes the cached kind flag."""
+        return self._trigger
+
+    @trigger.setter
+    def trigger(self, policy: TriggerPolicy) -> None:
+        self._trigger = policy
+        # on_request runs once per host request per leveler — in a
+        # multi-channel array that is channels x requests calls — so the
+        # erase-triggered default (the paper's) must exit on a flag test,
+        # not an isinstance.
+        self._request_driven = not isinstance(policy, OnEraseTrigger)
+
     def on_request(self, now: float | None = None) -> None:
-        """Advance request/time counters for request- and timer-triggers."""
-        self._requests_seen += 1
+        """Advance request/time counters for request- and timer-triggers.
+
+        A :class:`~repro.array.DeviceArray` advances the (shared)
+        :class:`RequestClock` once for all shard levelers and calls
+        :meth:`_request_tick` directly — keep the two paths in step.
+        """
+        clock = self.clock
+        clock.requests += 1
         if now is not None:
-            self._now = now
-        if not isinstance(self.trigger, OnEraseTrigger) and not self._in_procedure:
-            if self.trigger.should_check(
-                erases=self.bet.ecnt, requests=self._requests_seen, now=self._now
-            ):
-                if self._suspended:
-                    self._note_deferred()
-                else:
-                    self._dispatch_trigger()
+            clock.now = now
+        if self._request_driven and not self._in_procedure:
+            self._request_tick()
+
+    def _request_tick(self) -> None:
+        """Evaluate a request- or timer-driven trigger at a request edge."""
+        clock = self.clock
+        if self._trigger.should_check(
+            erases=self.bet.ecnt, requests=clock.requests, now=clock.now
+        ):
+            if self._suspended:
+                self._note_deferred()
+            else:
+                self._dispatch_trigger()
 
     # ------------------------------------------------------------------
     # Algorithm 1 — SWL-Procedure
@@ -350,7 +394,7 @@ class SWLeveler:
             self._in_procedure = False
             if did_work:
                 self.stats.procedure_runs += 1
-                if self._obs is not None:
+                if self._obs is not None and self._obs.mask & M_SWL_INVOKE:
                     self._obs.emit(SwlInvokeEvent(
                         entry_findex, entry_unevenness, entry_ecnt,
                         entry_fcnt, latency))
@@ -371,7 +415,7 @@ class SWLeveler:
             "BET reset #%d (findex -> %d, %d retired sets re-flagged)",
             self.bet.resets, self.findex, len(self._retired_flags),
         )
-        if self._obs is not None:
+        if self._obs is not None and self._obs.mask & M_BET_RESET:
             self._obs.emit(BetResetEvent(self.bet.resets, self.findex))
 
     def _erase_block_set(self, findex: int) -> None:
@@ -444,8 +488,8 @@ class SWLeveler:
             "retired_flags": sorted(self._retired_flags),
             "deferred_check": self._deferred_check,
             "deferred_at_ecnt": self._deferred_at_ecnt,
-            "requests_seen": self._requests_seen,
-            "now": self._now,
+            "requests_seen": self.clock.requests,
+            "now": self.clock.now,
             "stats": {
                 "procedure_runs": stats.procedure_runs,
                 "procedure_checks": stats.procedure_checks,
@@ -483,8 +527,8 @@ class SWLeveler:
         self._retired_flags = set(state["retired_flags"])  # type: ignore[arg-type]
         self._deferred_check = bool(state["deferred_check"])
         self._deferred_at_ecnt = state["deferred_at_ecnt"]  # type: ignore[assignment]
-        self._requests_seen = state["requests_seen"]  # type: ignore[assignment]
-        self._now = state["now"]  # type: ignore[assignment]
+        self.clock.requests = state["requests_seen"]  # type: ignore[assignment]
+        self.clock.now = state["now"]  # type: ignore[assignment]
         self._in_procedure = False
         self._suspended = 0
         stats = state["stats"]  # type: ignore[assignment]

@@ -27,6 +27,7 @@ from repro.flash.errors import (
     UncorrectableReadError,
 )
 from repro.fault.plan import FaultPlan
+from repro.obs.bus import M_FAULT_INJECTED, M_POWER_LOSS
 from repro.obs.events import FaultInjected
 from repro.obs.events import PowerLoss as PowerLossEvent
 from repro.util.diagnostics import fault_log
@@ -126,7 +127,7 @@ class FaultInjector:
 
     def _power_loss(self) -> PowerLossError:
         fault_log.info("power loss at op %d", self.stats.ops)
-        if self._obs is not None:
+        if self._obs is not None and self._obs.mask & M_POWER_LOSS:
             self._obs.emit(PowerLossEvent(self.stats.ops))
         return PowerLossError(
             f"power lost at operation {self.stats.ops}", op_ordinal=self.stats.ops
@@ -144,7 +145,7 @@ class FaultInjector:
             self.stats.erase_faults += 1
             fault_log.debug("transient erase failure on block %d (wear %d)",
                             block, wear)
-            if self._obs is not None:
+            if self._obs is not None and self._obs.mask & M_FAULT_INJECTED:
                 self._obs.emit(FaultInjected("erase", block, -1))
             raise TransientEraseError(
                 f"erase of block {block} failed (transient, wear={wear})",
@@ -168,7 +169,7 @@ class FaultInjector:
             self.bad_program_blocks.add(block)
             self.stats.program_faults += 1
             fault_log.debug("program failure on page (%d, %d)", block, page)
-            if self._obs is not None:
+            if self._obs is not None and self._obs.mask & M_FAULT_INJECTED:
                 self._obs.emit(FaultInjected("program", block, page))
             raise ProgramFaultError(
                 f"program of page ({block}, {page}) failed verification; "
@@ -203,7 +204,7 @@ class FaultInjector:
                 self.stats.reads_uncorrectable += 1
                 fault_log.debug("uncorrectable read on page (%d, %d) "
                                 "after %d retries", block, page, retries)
-                if self._obs is not None:
+                if self._obs is not None and self._obs.mask & M_FAULT_INJECTED:
                     self._obs.emit(FaultInjected("read", block, page))
                 raise UncorrectableReadError(
                     f"read of page ({block}, {page}) uncorrectable after "

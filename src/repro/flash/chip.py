@@ -34,9 +34,7 @@ from repro.flash.errors import (
     WearOutError,
 )
 from repro.flash.geometry import FlashGeometry
-from repro.obs.events import Erase as EraseEvent
-from repro.obs.events import Program as ProgramEvent
-from repro.obs.events import Read as ReadEvent
+from repro.obs.bus import M_ERASE, M_PROGRAM, M_READ
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.fault.injector import FaultInjector
@@ -127,6 +125,11 @@ class NandFlash:
         self.counters = OpCounters()
         self.worn_blocks: set[int] = set()
         self.first_failure: FirstFailure | None = None
+        #: Fired once, when :attr:`first_failure` transitions from
+        #: ``None``.  A :class:`~repro.array.DeviceArray` hangs its
+        #: any-shard-failed flag here so its per-request failure poll is
+        #: O(1) until a failure actually exists.
+        self.failure_sink: Callable[[], None] | None = None
         # Stored as an immutable tuple: every mutation rebinds the name,
         # so an in-flight dispatch loop keeps iterating its own snapshot
         # even when a listener unsubscribes (itself or others) mid-fire.
@@ -210,8 +213,9 @@ class NandFlash:
         if self._injector is not None:
             self._injector.on_read(block, page)
         self.counters.reads += 1
-        if self._obs is not None:
-            self._obs.emit(ReadEvent(block, page))
+        obs = self._obs
+        if obs is not None and obs.mask & M_READ:
+            obs.emit_read(block, page)
         return self._spare_lba[index], self._data.get(index)
 
     def program(
@@ -268,8 +272,9 @@ class NandFlash:
         if self.store_data and data is not None:
             self._data[index] = bytes(data)
         self.counters.programs += 1
-        if self._obs is not None:
-            self._obs.emit(ProgramEvent(block, page, lba))
+        obs = self._obs
+        if obs is not None and obs.mask & M_PROGRAM:
+            obs.emit_program(block, page, lba)
 
     def invalidate(self, block: int, page: int) -> None:
         """Mark a valid page invalid (out-place update of its logical data)."""
@@ -311,6 +316,8 @@ class NandFlash:
                         erase_ordinal=self.counters.erases,
                         erase_count=self.erase_counts[block],
                     )
+                    if self.failure_sink is not None:
+                        self.failure_sink()
             if self.fail_stop:
                 raise WearOutError(
                     f"block {block} exceeded endurance "
@@ -324,10 +331,11 @@ class NandFlash:
             self._spare_lba[index] = -1
             self._data.pop(index, None)
         self._block_tags.pop(block, None)
-        if self._obs is not None:
+        obs = self._obs
+        if obs is not None and obs.mask & M_ERASE:
             # Before the listeners: SWL work a listener triggers then
             # traces causally after the erase that provoked it.
-            self._obs.emit(EraseEvent(block, self.erase_counts[block]))
+            obs.emit_erase(block, self.erase_counts[block])
         for listener in self._erase_listeners:
             listener(block)
 

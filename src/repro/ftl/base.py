@@ -26,6 +26,7 @@ from repro.core.leveler import SWLeveler
 from repro.flash.chip import PAGE_VALID
 from repro.flash.errors import TransientEraseError, TranslationError
 from repro.flash.mtd import MtdDevice
+from repro.obs.bus import M_GC_END, M_GC_START, M_RECOVERY
 from repro.obs.events import GcEnd, GcStart, Recovery
 from repro.util.diagnostics import fault_log
 
@@ -173,16 +174,17 @@ class TranslationLayer(ABC):
         driver's copy counter and the device's erase counter.  Off the
         GC path entirely when no bus is attached.
         """
-        if self._obs is None:
+        obs = self._obs
+        if obs is None or not obs.mask & (M_GC_START | M_GC_END):
             yield
             return
-        self._obs.emit(GcStart(reason, victim))
+        obs.emit(GcStart(reason, victim))
         copies_before = self.stats.live_page_copies
         erases_before = self.mtd.counters.erases
         try:
             yield
         finally:
-            self._obs.emit(GcEnd(
+            obs.emit(GcEnd(
                 reason, victim,
                 self.stats.live_page_copies - copies_before,
                 self.mtd.counters.erases - erases_before,
@@ -214,7 +216,7 @@ class TranslationLayer(ABC):
                 "grown bad" if failed else "worn out",
                 self.mtd.erase_counts[block],
             )
-            if self._obs is not None:
+            if self._obs is not None and self._obs.mask & M_RECOVERY:
                 self._obs.emit(Recovery("retire", block))
             return
         self.allocator.release(block)
@@ -244,7 +246,7 @@ class TranslationLayer(ABC):
                     "%s: erase of block %d failed, retry %d/%d",
                     self.name, block, attempts, ERASE_RETRY_LIMIT - 1,
                 )
-                if self._obs is not None:
+                if self._obs is not None and self._obs.mask & M_RECOVERY:
                     self._obs.emit(Recovery("erase_retry", block))
         self._failed_blocks.add(block)
         flash = self.mtd.flash
@@ -254,7 +256,7 @@ class TranslationLayer(ABC):
             "%s: erase of block %d failed %d times; condemning block",
             self.name, block, attempts,
         )
-        if self._obs is not None:
+        if self._obs is not None and self._obs.mask & M_RECOVERY:
             self._obs.emit(Recovery("condemn", block))
         return False
 

@@ -18,15 +18,17 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from itertools import chain
 from typing import TYPE_CHECKING
 
+from repro.obs.bus import M_GC_SCAN
 from repro.obs.events import GcScan
 
 if TYPE_CHECKING:
     from repro.obs.bus import BusLike
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GreedyScore:
     """Cost-benefit score of one recycling candidate.
 
@@ -97,7 +99,7 @@ class CyclicScanner:
                 self.cursor = (unit + 1) % self.size
                 found = unit
                 break
-        if self._obs is not None:
+        if self._obs is not None and self._obs.mask & M_GC_SCAN:
             self._obs.emit(GcScan("first-fit", self.probes - before,
                                   -1 if found is None else found))
         return found
@@ -116,22 +118,25 @@ class CyclicScanner:
         cyclic revolution enumerates candidates; ties break in scan order
         so consecutive garbage collections still walk the ring.
         """
-        before = self.probes
+        size = self.size
+        cursor = self.cursor
+        # One full cyclic revolution: account all probes up front and
+        # walk the two wrap segments directly, so the per-unit work is
+        # the score callback and the comparisons, nothing else.
+        self.probes += size
         best_unit: int | None = None
         best_wear = None
-        for offset in range(self.size):
-            unit = (self.cursor + offset) % self.size
-            self.probes += 1
+        for unit in chain(range(cursor, size), range(cursor)):
             score = score_of(unit)
-            if score is None or not score.qualifies:
+            if score is None or score.benefit <= score.cost:
                 continue
             wear = wear_of(unit)
             if best_wear is None or wear < best_wear:
                 best_unit, best_wear = unit, wear
         if best_unit is not None:
-            self.cursor = (best_unit + 1) % self.size
-        if self._obs is not None:
-            self._obs.emit(GcScan("least-worn", self.probes - before,
+            self.cursor = (best_unit + 1) % size
+        if self._obs is not None and self._obs.mask & M_GC_SCAN:
+            self._obs.emit(GcScan("least-worn", size,
                                   -1 if best_unit is None else best_unit))
         return best_unit
 
@@ -146,20 +151,21 @@ class CyclicScanner:
         considered (recycling a block with nothing invalid reclaims no
         space).  Returns ``None`` when nothing can be reclaimed at all.
         """
-        before = self.probes
+        size = self.size
+        self.probes += size
         best_unit: int | None = None
         best_sum = None
-        for unit in range(self.size):
-            self.probes += 1
+        for unit in range(size):
             score = score_of(unit)
             if score is None or score.benefit <= 0:
                 continue
-            if best_sum is None or score.weighted_sum > best_sum:
-                best_unit, best_sum = unit, score.weighted_sum
+            weighted = score.benefit - score.cost
+            if best_sum is None or weighted > best_sum:
+                best_unit, best_sum = unit, weighted
         if best_unit is not None:
-            self.cursor = (best_unit + 1) % self.size
-        if self._obs is not None:
-            self._obs.emit(GcScan("fallback", self.probes - before,
+            self.cursor = (best_unit + 1) % size
+        if self._obs is not None and self._obs.mask & M_GC_SCAN:
+            self._obs.emit(GcScan("fallback", size,
                                   -1 if best_unit is None else best_unit))
         return best_unit
 

@@ -374,6 +374,10 @@ def build_stack(
         if getattr(bus, "clock", None) is None:
             bus.clock = lambda: mtd.busy_time
         flash.attach_bus(bus)
+        # The chip's cumulative OpCounters back the pulled hot-counter
+        # path: state-capable subscribers stop listening for per-op
+        # events once a source covers their shard (repro.obs.bus).
+        bus.register_hot_source(flash)
         layer.attach_bus(bus)
         if leveler is not None:
             leveler.attach_bus(bus)

@@ -34,6 +34,7 @@ from repro.flash.mtd import MtdDevice
 from repro.ftl.allocator import BlockAllocator
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
 from repro.ftl.cleaner import CyclicScanner, GreedyScore
+from repro.obs.bus import M_RECOVERY
 from repro.obs.events import Recovery
 from repro.util.diagnostics import fault_log
 
@@ -210,7 +211,7 @@ class NFTL(TranslationLayer):
                 "NFTL: program fault on block %d; owning chain will fold "
                 "and the block retire", block,
             )
-        if self._obs is not None:
+        if self._obs is not None and self._obs.mask & M_RECOVERY:
             self._obs.emit(Recovery("reissue", block))
 
     def _process_pending_retirements(self) -> None:

@@ -29,6 +29,7 @@ from repro.flash.mtd import MtdDevice
 from repro.ftl.allocator import BlockAllocator
 from repro.ftl.base import DEFAULT_OP_RATIO, GC_FREE_FRACTION, TranslationLayer
 from repro.ftl.cleaner import CyclicScanner, GreedyScore
+from repro.obs.bus import M_RECOVERY
 from repro.obs.events import Recovery
 from repro.util.diagnostics import fault_log
 
@@ -189,7 +190,7 @@ class PageMappingFTL(TranslationLayer):
                 "FTL: program fault on block %d (%s frontier); "
                 "block scheduled for retirement", block, kind,
             )
-        if self._obs is not None:
+        if self._obs is not None and self._obs.mask & M_RECOVERY:
             self._obs.emit(Recovery("reissue", block))
 
     def _process_pending_retirements(self) -> None:
@@ -248,11 +249,16 @@ class PageMappingFTL(TranslationLayer):
         """
         frontiers = self._frontier_blocks()
         ppb = self.geometry.pages_per_block
+        # Everything the score reads is loop-invariant across one scan
+        # revolution; bind it locally so the per-probe work is membership
+        # tests and two list reads.
+        in_free = self.allocator.contains
+        valid, invalid = self._valid, self._invalid
 
         def dead_score(block: int) -> GreedyScore | None:
-            if self.allocator.contains(block) or block in frontiers:
+            if in_free(block) or block in frontiers:
                 return None
-            if self._valid[block] or self._invalid[block] != ppb:
+            if valid[block] or invalid[block] != ppb:
                 return None
             return GreedyScore(benefit=ppb, cost=0)
 
@@ -321,12 +327,27 @@ class PageMappingFTL(TranslationLayer):
         Victims qualify by the greedy cost-benefit rule; among them the
         block with the smallest erase count wins — the baseline dynamic
         wear leveling of paper Section 5.1.
+
+        The score closure below is :meth:`_score_block` with the
+        loop-invariant lookups (frontier set, pool membership, page
+        tallies) hoisted out of the per-probe path — the scanner calls it
+        once per block per revolution.
         """
+        frontiers = self._frontier_blocks()
+        retired = self.retired_blocks
+        in_free = self.allocator.contains
+        valid, invalid = self._valid, self._invalid
+
+        def score(block: int) -> GreedyScore | None:
+            if in_free(block) or block in retired or block in frontiers:
+                return None
+            return GreedyScore(benefit=invalid[block], cost=valid[block])
+
         victim = self.scanner.find_least_worn(
-            self._score_block, self.mtd.erase_counts.__getitem__
+            score, self.mtd.erase_counts.__getitem__
         )
         if victim is None:
-            victim = self.scanner.find_best_fallback(self._score_block)
+            victim = self.scanner.find_best_fallback(score)
         if victim is None:
             raise OutOfSpaceError(
                 "garbage collection found no block with reclaimable pages; "

@@ -12,9 +12,18 @@ base-unit gauge/histogram names) under a single ``repro_`` prefix.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections import Counter
+from typing import Callable, Mapping, Protocol
 
-from repro.obs.bus import TraceRecord
+from repro.obs.bus import (
+    ALL_EVENTS,
+    HOT_KINDS,
+    K_ERASE,
+    K_PROGRAM,
+    K_READ,
+    BatchOp,
+    TraceRecord,
+)
 from repro.obs.events import (
     BetReset,
     Erase,
@@ -31,14 +40,61 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 
+#: Event types whose facts are device-state-derived in pull mode.
+_HOT_EVENT_TYPES = (Read, Program, Erase)
+
 #: SWL trigger latency buckets, in block erases between trigger and run.
 LATENCY_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 100.0)
 
 
+class _OpCountersLike(Protocol):
+    """Cumulative per-device operation totals (``NandFlash.counters``)."""
+
+    reads: int
+    programs: int
+    erases: int
+
+
+class HotCounterSource(Protocol):
+    """A device whose hot-kind facts are readable from state.
+
+    ``NandFlash`` satisfies this structurally; anything exposing the
+    same two members can back a pulled shard.
+    """
+
+    counters: _OpCountersLike
+
+    def max_erase_count(self) -> int: ...
+
+
 class MetricsCollector:
-    """Subscribe to a bus and aggregate events into mergeable metrics."""
+    """Subscribe to a bus and aggregate events into mergeable metrics.
+
+    Batch-capable: on a buffered bus the collector receives whole batches
+    via :meth:`consume_batch` and folds the hot kinds (read, program,
+    erase) with per-batch tallies — one counter ``inc(n)`` per shard per
+    kind instead of one dict dispatch + method call per event.  Counter
+    increments are integer sums, and the erase-peak gauge takes the
+    per-batch maximum before a single conditional ``set``, so the folded
+    state is identical to per-event delivery (property-tested in
+    ``tests/test_obs.py``).
+
+    The collector never reads timestamps, which it advertises with
+    ``needs_timestamps = False`` so a bus whose only subscriber is a
+    collector skips the clock call entirely.
+    """
+
+    #: Batch consumers ignore record timestamps (lets the bus skip its clock).
+    needs_timestamps = False
 
     def __init__(self) -> None:
+        #: The collector folds every event kind — until pull mode drops
+        #: the hot kinds (see :meth:`set_pull_mode`).
+        self.interest_mask = ALL_EVENTS
+        self._pull_hot = False
+        #: Last-seen cumulative device totals per shard, so each pull
+        #: applies only the delta since the previous one.
+        self._pull_baselines: dict[int, tuple[int, int, int]] = {}
         self._registries: dict[int, MetricsRegistry] = {}
         self._handlers: dict[type[Event], Callable[[MetricsRegistry, Event],
                                                    None]] = {
@@ -68,9 +124,70 @@ class MetricsCollector:
         return registry
 
     def __call__(self, record: TraceRecord) -> None:
-        handler = self._handlers.get(type(record.event))
+        event = record.event
+        if self._pull_hot and type(event) in _HOT_EVENT_TYPES:
+            return
+        handler = self._handlers.get(type(event))
         if handler is not None:
-            handler(self.registry(record.shard), record.event)
+            handler(self.registry(record.shard), event)
+
+    # -- pulled hot counters -----------------------------------------------
+
+    @property
+    def pulls_hot_counters(self) -> bool:
+        """True when hot-kind totals come from device state, not events."""
+        return self._pull_hot
+
+    def set_pull_mode(self, enabled: bool) -> None:
+        """Choose where hot-kind totals come from.
+
+        Enabled, the collector drops :data:`~repro.obs.bus.HOT_KINDS`
+        from its interest (the caller refreshes the bus so emit sites see
+        the narrower mask) and ignores any hot events another subscriber
+        still causes to flow — their totals arrive via
+        :meth:`pull_hot_counters` instead, exactly once.
+        """
+        self._pull_hot = enabled
+        self.interest_mask = ALL_EVENTS & ~HOT_KINDS if enabled else ALL_EVENTS
+
+    def pull_hot_counters(
+        self, sources: Mapping[int, HotCounterSource]
+    ) -> None:
+        """Sync hot-kind metrics from cumulative device counters.
+
+        Applies the delta since the previous pull, so repeated pulls
+        (periodic snapshots plus the final flush) never double-count.  A
+        device whose counters moved backwards (a checkpoint restore
+        rewound it) re-baselines without applying a negative delta: the
+        rewound operations never happened in the restored timeline.
+        """
+        for shard, source in sources.items():
+            counters = source.counters
+            reads, programs, erases = (
+                counters.reads, counters.programs, counters.erases,
+            )
+            base = self._pull_baselines.get(shard, (0, 0, 0))
+            self._pull_baselines[shard] = (reads, programs, erases)
+            registry = self.registry(shard)
+            delta = reads - base[0]
+            if delta > 0:
+                registry.counter("repro_flash_reads_total",
+                                 "Page reads completed").inc(delta)
+            delta = programs - base[1]
+            if delta > 0:
+                registry.counter("repro_flash_programs_total",
+                                 "Page programs completed").inc(delta)
+            delta = erases - base[2]
+            if delta > 0:
+                registry.counter("repro_flash_erases_total",
+                                 "Block erases completed").inc(delta)
+            peak = registry.gauge(
+                "repro_flash_max_block_erases",
+                "Highest per-block erase count observed", agg="max",
+            )
+            maximum = source.max_erase_count()
+            if maximum > peak.value:
+                peak.set(maximum)
 
     # -- per-event folds ---------------------------------------------------
 
@@ -156,6 +273,118 @@ class MetricsCollector:
     def _on_power_loss(self, registry: MetricsRegistry, event: Event) -> None:
         registry.counter("repro_power_loss_total",
                          "Scheduled power losses delivered").inc()
+
+    # -- batched fold ------------------------------------------------------
+
+    def consume_batch(self, batch: list[BatchOp]) -> None:
+        """Fold a buffered batch; equivalent to per-event ``__call__``.
+
+        Hot kinds are tallied per shard in batch-local dicts and applied
+        once; cold kinds (``K_OBJ`` ops) reuse the per-event handlers in
+        stream order.  Ordering between hot tallies and cold events does
+        not matter for the folded state: they touch disjoint metrics.
+        """
+        reads: dict[int, int] = {}
+        programs: dict[int, int] = {}
+        erases: dict[int, int] = {}
+        erase_peak: dict[int, int] = {}
+        handlers = self._handlers
+        pull = self._pull_hot
+        for op in batch:
+            kind = op[0]
+            if kind == K_READ:
+                if pull:
+                    continue
+                shard = op[2]
+                reads[shard] = reads.get(shard, 0) + 1
+            elif kind == K_PROGRAM:
+                if pull:
+                    continue
+                shard = op[2]
+                programs[shard] = programs.get(shard, 0) + 1
+            elif kind == K_ERASE:
+                if pull:
+                    continue
+                shard = op[2]
+                erases[shard] = erases.get(shard, 0) + 1
+                count = op[4]
+                if count > erase_peak.get(shard, -1):
+                    erase_peak[shard] = count
+            else:
+                event = op[3]
+                if pull and type(event) in _HOT_EVENT_TYPES:
+                    continue
+                handler = handlers.get(type(event))
+                if handler is not None:
+                    handler(self.registry(op[2]), event)
+        for shard, n in reads.items():
+            self.registry(shard).counter(
+                "repro_flash_reads_total", "Page reads completed"
+            ).inc(n)
+        for shard, n in programs.items():
+            self.registry(shard).counter(
+                "repro_flash_programs_total", "Page programs completed"
+            ).inc(n)
+        for shard, n in erases.items():
+            registry = self.registry(shard)
+            registry.counter(
+                "repro_flash_erases_total", "Block erases completed"
+            ).inc(n)
+            peak = registry.gauge(
+                "repro_flash_max_block_erases",
+                "Highest per-block erase count observed", agg="max",
+            )
+            if erase_peak[shard] > peak.value:
+                peak.set(erase_peak[shard])
+
+    def consume_tallies(
+        self,
+        reads: list[int],
+        programs: list[int],
+        erases: list[tuple[int, int]],
+        ops: list[BatchOp],
+    ) -> None:
+        """Fold tally-mode delivery; equivalent to per-event ``__call__``.
+
+        ``reads``/``programs`` are shard tags (one per event), ``erases``
+        are ``(shard, erase_count)`` pairs, and ``ops`` holds the cold
+        ``K_OBJ`` stream in order.  The fold is order-insensitive across
+        the four lists — counters sum, the erase-peak gauge maxes — so
+        the per-kind split loses nothing (property-tested in
+        ``tests/test_obs.py``).
+        """
+        if self._pull_hot:
+            # Hot totals come from device state; only the cold stream
+            # (which is empty of hot kinds anyway in pull mode) folds.
+            if ops:
+                self.consume_batch(ops)
+            return
+        for shard, n in Counter(reads).items():
+            self.registry(shard).counter(
+                "repro_flash_reads_total", "Page reads completed"
+            ).inc(n)
+        for shard, n in Counter(programs).items():
+            self.registry(shard).counter(
+                "repro_flash_programs_total", "Page programs completed"
+            ).inc(n)
+        if erases:
+            erase_peak: dict[int, int] = {}
+            for shard, count in erases:
+                if count > erase_peak.get(shard, -1):
+                    erase_peak[shard] = count
+            for shard, n in Counter(shard for shard, _ in erases).items():
+                registry = self.registry(shard)
+                registry.counter(
+                    "repro_flash_erases_total", "Block erases completed"
+                ).inc(n)
+                peak = registry.gauge(
+                    "repro_flash_max_block_erases",
+                    "Highest per-block erase count observed", agg="max",
+                )
+                if erase_peak[shard] > peak.value:
+                    peak.set(erase_peak[shard])
+        if ops:
+            self.consume_batch(ops)
 
     # -- snapshots ---------------------------------------------------------
 

@@ -25,7 +25,16 @@ import logging
 from pathlib import Path
 from typing import IO, Union
 
-from repro.obs.bus import TraceRecord
+from repro.obs.bus import (
+    ALL_EVENTS,
+    K_ERASE,
+    K_PROGRAM,
+    K_READ,
+    M_PROGRAM,
+    M_READ,
+    BatchOp,
+    TraceRecord,
+)
 from repro.obs.events import (
     BetReset,
     Erase,
@@ -33,10 +42,24 @@ from repro.obs.events import (
     GcEnd,
     GcStart,
     PowerLoss,
+    Program,
+    Read,
     Recovery,
     SwlInvoke,
 )
 from repro.util.diagnostics import get_logger
+
+
+def _op_to_record(op: BatchOp) -> TraceRecord:
+    """Rehydrate a buffered op into the legacy per-event record form."""
+    kind = op[0]
+    if kind == K_READ:
+        return TraceRecord(op[1], op[2], Read(op[3], op[4]))
+    if kind == K_PROGRAM:
+        return TraceRecord(op[1], op[2], Program(op[3], op[4], op[5]))
+    if kind == K_ERASE:
+        return TraceRecord(op[1], op[2], Erase(op[3], op[4]))
+    return TraceRecord(op[1], op[2], op[3])
 
 
 class JsonlTraceExporter:
@@ -58,6 +81,33 @@ class JsonlTraceExporter:
         self._stream.write(json.dumps(line) + "\n")
         self.records_written += 1
 
+    def consume_batch(self, batch: list[BatchOp]) -> None:
+        """Serialise a buffered batch; byte-identical to per-record calls.
+
+        Hot kinds build their JSON dicts straight from the flat tuple
+        (same key order as ``payload()``), skipping event rehydration.
+        """
+        write = self._stream.write
+        dumps = json.dumps
+        for op in batch:
+            kind = op[0]
+            if kind == K_READ:
+                line: dict[str, object] = {
+                    "ts": op[1], "shard": op[2], "kind": "read",
+                    "block": op[3], "page": op[4]}
+            elif kind == K_PROGRAM:
+                line = {"ts": op[1], "shard": op[2], "kind": "program",
+                        "block": op[3], "page": op[4], "lba": op[5]}
+            elif kind == K_ERASE:
+                line = {"ts": op[1], "shard": op[2], "kind": "erase",
+                        "block": op[3], "count": op[4]}
+            else:
+                event = op[3]
+                line = {"ts": op[1], "shard": op[2], "kind": event.kind}
+                line.update(event.payload())
+            write(dumps(line) + "\n")
+        self.records_written += len(batch)
+
     def close(self) -> None:
         """Flush and (if we opened it) close the underlying stream."""
         self._stream.flush()
@@ -72,6 +122,11 @@ class ChromeTraceExporter:
     named for the run) with one thread per shard keeps multi-channel
     traces readable as parallel tracks.
     """
+
+    #: Per-page read/program volume would dwarf the interesting tracks;
+    #: a bus whose only subscribers declare this mask skips those kinds
+    #: at the emit site (the JSONL trace keeps them when attached).
+    interest_mask = ALL_EVENTS & ~(M_READ | M_PROGRAM)
 
     def __init__(self, run_name: str = "repro") -> None:
         self.run_name = run_name
@@ -119,6 +174,29 @@ class ChromeTraceExporter:
                  "name": event.kind, "args": event.payload()})
         # Read/Program are deliberately not serialised: per-page volume
         # would dwarf the interesting tracks; the JSONL trace keeps them.
+
+    def consume_batch(self, batch: list[BatchOp]) -> None:
+        """Buffered delivery; behaves exactly like per-record calls.
+
+        Erases take a flat fast path; reads/programs that ride in a
+        shared buffer (because another subscriber wants them) still name
+        the shard thread, as they would on a synchronous bus.
+        """
+        for op in batch:
+            kind = op[0]
+            if kind == K_ERASE:
+                shard = op[2]
+                self._ensure_thread(shard)
+                total = self._erases_by_shard.get(shard, 0) + 1
+                self._erases_by_shard[shard] = total
+                self._events.append(
+                    {"pid": 0, "tid": shard, "ts": op[1] * 1e6,
+                     "ph": "C", "cat": "flash", "name": "erases",
+                     "args": {"erases": total}})
+            elif kind == K_READ or kind == K_PROGRAM:
+                self._ensure_thread(op[2])
+            else:
+                self(_op_to_record(op))
 
     def trace_object(self) -> dict[str, object]:
         """The complete Chrome trace document."""
@@ -175,6 +253,11 @@ class LogExporter:
         else:
             self._trace.debug("t=%.3f shard=%d %s %s", record.ts,
                               record.shard, event.kind, event.payload())
+
+    def consume_batch(self, batch: list[BatchOp]) -> None:
+        """Buffered delivery: rehydrate each op and log it in order."""
+        for op in batch:
+            self(_op_to_record(op))
 
     #: alias so LogExporter can sit in exporter lists that get ``close()``d
     def close(self) -> None:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.obs.bus import EventBus
+from repro.obs.bus import DEFAULT_BATCH_CAPACITY, EventBus
 from repro.obs.collect import MetricsCollector
 from repro.obs.export import (
     ChromeTraceExporter,
@@ -40,6 +40,14 @@ class Telemetry:
     file exporters are attached for whichever paths are given.  Pass
     ``log_events=True`` to additionally route events onto the
     ``repro.*`` logging channels.
+
+    The facade's bus is built with a batch capacity: every standard
+    subscriber is batch-capable, so hot events append flat tuples to a
+    buffer instead of allocating per-event records (DESIGN.md §5f).
+    :meth:`flush` drains the buffer; :meth:`snapshot` and :meth:`finish`
+    flush first, so observed metrics are always complete.  The experiment
+    runners also flush after each run, so collector state read directly
+    (``telemetry.collector``) is complete too.
     """
 
     def __init__(
@@ -53,9 +61,14 @@ class Telemetry:
         heatmap_bins: int = DEFAULT_HEATMAP_BINS,
         heatmap_interval: Optional[float] = None,
     ) -> None:
-        self.bus = EventBus()
+        self.bus = EventBus(capacity=DEFAULT_BATCH_CAPACITY)
         self.collector = MetricsCollector()
         self.bus.subscribe(self.collector)
+        # When the factory registers the chips it wires (hot counter
+        # sources), flip the collector to pull mode: hot totals then come
+        # from device state at flush time and the per-operation emit
+        # sites go quiet (see repro.obs.bus, "Pulled hot counters").
+        self.bus.on_sources_changed = self._on_sources_changed
         self.heatmap_bins = heatmap_bins
         self.heatmap_interval = heatmap_interval
         self.jsonl: Optional[JsonlTraceExporter] = None
@@ -92,12 +105,26 @@ class Telemetry:
             **kwargs,  # type: ignore[arg-type]
         )
 
+    def _on_sources_changed(self) -> None:
+        enabled = bool(self.bus.hot_sources)
+        if enabled != self.collector.pulls_hot_counters:
+            self.collector.set_pull_mode(enabled)
+            self.bus.refresh()
+
+    def flush(self) -> None:
+        """Drain any buffered events; sync pulled counters from devices."""
+        self.bus.flush()
+        if self.collector.pulls_hot_counters:
+            self.collector.pull_hot_counters(self.bus.hot_sources)
+
     def snapshot(self) -> MetricsSnapshot:
         """Global metrics snapshot (exact merge across shards)."""
+        self.flush()
         return self.collector.snapshot()
 
     def finish(self) -> dict[str, Path]:
         """Flush every exporter; returns the files written by name."""
+        self.flush()
         written: dict[str, Path] = {}
         if self.jsonl is not None and self._jsonl_path is not None:
             self.jsonl.close()

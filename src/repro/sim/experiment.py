@@ -243,7 +243,12 @@ def run_until_first_failure(
     rng = spawn_rng(make_rng(spec.seed), "resampler")
     endless = SegmentResampler(base_trace, rng=rng)
     stop = StopCondition(until_first_failure=True, max_requests=request_cap)
-    return simulator.run(endless.iter_requests(), stop, label=spec.label())
+    result = simulator.run(endless.iter_requests(), stop, label=spec.label())
+    if telemetry is not None:
+        # Drain any batched events so collector/exporter state read
+        # directly off the facade is complete the moment the run returns.
+        telemetry.flush()
+    return result
 
 
 def run_fixed_horizon(
@@ -265,16 +270,36 @@ def run_fixed_horizon(
     rng = spawn_rng(make_rng(spec.seed), "resampler")
     endless = SegmentResampler(base_trace, rng=rng)
     stop = StopCondition(max_time=horizon, max_requests=request_cap)
-    return simulator.run(endless.iter_requests(), stop, label=spec.label())
+    result = simulator.run(endless.iter_requests(), stop, label=spec.label())
+    if telemetry is not None:
+        telemetry.flush()
+    return result
 
 
-def _run_matrix_entry(
-    payload: tuple[
-        ExperimentSpec, list[Request], float | None, list[Request] | None, int
-    ],
-) -> SimResult:
-    """One matrix cell, self-contained for process-pool pickling."""
-    spec, base_trace, horizon, warmup, request_cap = payload
+#: Per-worker matrix context installed by :func:`_matrix_worker_init`.
+#: The base trace is by far the largest object in a sweep; shipping it
+#: once per worker via the pool initializer (instead of once per task,
+#: as the old per-cell payloads did) is what makes the fan-out win.
+_MATRIX_CTX: tuple[
+    list[Request], float | None, list[Request] | None, int
+] | None = None
+
+
+def _matrix_worker_init(
+    base_trace: list[Request],
+    horizon: float | None,
+    warmup: list[Request] | None,
+    request_cap: int,
+) -> None:
+    """Install the shared sweep context in a pool worker process."""
+    global _MATRIX_CTX
+    _MATRIX_CTX = (base_trace, horizon, warmup, request_cap)
+
+
+def _run_matrix_spec(spec: ExperimentSpec) -> SimResult:
+    """One matrix cell against the worker's installed context."""
+    assert _MATRIX_CTX is not None, "worker context not installed"
+    base_trace, horizon, warmup, request_cap = _MATRIX_CTX
     if horizon is None:
         return run_until_first_failure(
             spec, base_trace, warmup=warmup, request_cap=request_cap
@@ -282,6 +307,11 @@ def _run_matrix_entry(
     return run_fixed_horizon(
         spec, base_trace, horizon, warmup=warmup, request_cap=request_cap
     )
+
+
+def _run_matrix_chunk(specs: list[ExperimentSpec]) -> list[SimResult]:
+    """One worker's whole share of the matrix, submitted as one task."""
+    return [_run_matrix_spec(spec) for spec in specs]
 
 
 def run_matrix(
@@ -326,10 +356,38 @@ def run_matrix(
             policy=policy,
         )
         return report.results()  # type: ignore[return-value]
-    payloads = [
-        (spec, base_trace, horizon, warmup, request_cap) for spec in specs
-    ]
     if workers is None or workers <= 1 or len(specs) <= 1:
-        return [_run_matrix_entry(payload) for payload in payloads]
-    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
-        return list(pool.map(_run_matrix_entry, payloads))
+        if horizon is None:
+            return [
+                run_until_first_failure(
+                    spec, base_trace, warmup=warmup, request_cap=request_cap
+                )
+                for spec in specs
+            ]
+        return [
+            run_fixed_horizon(
+                spec, base_trace, horizon, warmup=warmup,
+                request_cap=request_cap
+            )
+            for spec in specs
+        ]
+    # One round-robin chunk per worker: each worker receives exactly one
+    # task holding its whole share of the cells, so the base trace is
+    # serialized once per worker (by the initializer) instead of once per
+    # cell, and process spawn cost amortizes across the chunk.  The
+    # stride layout interleaves early (typically heavier, lower-k) and
+    # late cells across workers for balance; results are re-strided back
+    # into spec order.
+    effective = min(workers, len(specs))
+    chunks = [specs[index::effective] for index in range(effective)]
+    with ProcessPoolExecutor(
+        max_workers=effective,
+        initializer=_matrix_worker_init,
+        initargs=(base_trace, horizon, warmup, request_cap),
+    ) as pool:
+        chunk_results = list(pool.map(_run_matrix_chunk, chunks))
+    results: list[SimResult | None] = [None] * len(specs)
+    for index, chunk in enumerate(chunk_results):
+        results[index::effective] = chunk
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]

@@ -104,6 +104,145 @@ class TestStriping:
 
 
 # ----------------------------------------------------------------------
+# Span routing and the compiled dispatcher (hot-path fusions)
+# ----------------------------------------------------------------------
+class TestSpanRouting:
+    """``route_span`` and ``compile_pages_dispatch`` against the generic
+    ``route_batch`` reference: same batches, same visit order, same
+    errors, same power-loss accounting."""
+
+    POLICIES = [PageInterleaved, ContiguousRange]
+
+    @pytest.mark.parametrize("cls", POLICIES)
+    def test_route_span_matches_route_batch(self, cls):
+        rng = random.Random(11)
+        for _ in range(500):
+            shards = rng.randint(1, 7)
+            per_shard = rng.randint(1, 50)
+            policy = cls(shards, per_shard)
+            start = rng.randrange(policy.total_pages)
+            stop = rng.randint(start + 1, policy.total_pages)
+            buffers = [[] for _ in range(shards)]
+            policy.route_batch(range(start, stop), buffers)
+            expect = [(s, b) for s, b in enumerate(buffers) if b]
+            got = [
+                (s, list(r))
+                for s, r in policy.route_span(start, stop)
+                if len(r)
+            ]
+            assert got == expect, (shards, per_shard, start, stop)
+
+    @pytest.mark.parametrize("cls", POLICIES)
+    def test_route_span_bounds_and_empty(self, cls):
+        policy = cls(4, 10)
+        for start, stop in ((-3, 5), (35, 45)):
+            with pytest.raises(ValueError, match="out of range"):
+                policy.route_span(start, stop)
+        assert [
+            (s, r) for s, r in policy.route_span(7, 7) if len(r)
+        ] == []
+
+    @staticmethod
+    def _recording_dispatch(policy):
+        """Compile a dispatcher whose ops record ``(shard, local)``."""
+        applied: list[tuple[int, int]] = []
+        losses: list[int] = []
+        ops = [
+            (lambda shard: lambda local: applied.append((shard, local)))(s)
+            for s in range(policy.num_shards)
+        ]
+        fallback_batches: list[list[int]] = []
+
+        def fallback(lpns):
+            fallback_batches.append(list(lpns))
+            return len(lpns)
+
+        dispatch = policy.compile_pages_dispatch(
+            ops, lambda exc, done: losses.append(done), fallback
+        )
+        assert dispatch is not None
+        return dispatch, applied, losses, fallback_batches
+
+    @pytest.mark.parametrize("cls", POLICIES)
+    def test_compiled_dispatch_matches_route_batch_order(self, cls):
+        rng = random.Random(23)
+        for _ in range(500):
+            shards = rng.randint(1, 7)
+            per_shard = rng.randint(1, 50)
+            policy = cls(shards, per_shard)
+            start = rng.randrange(policy.total_pages)
+            stop = rng.randint(start + 1, policy.total_pages)
+            dispatch, applied, _, fallback = self._recording_dispatch(policy)
+            done = dispatch(range(start, stop))
+            buffers = [[] for _ in range(shards)]
+            policy.route_batch(range(start, stop), buffers)
+            expect = [
+                (s, local) for s, batch in enumerate(buffers) for local in batch
+            ]
+            assert applied == expect, (shards, per_shard, start, stop)
+            assert done == stop - start
+            assert fallback == []
+
+    @pytest.mark.parametrize("cls", POLICIES)
+    def test_compiled_dispatch_single_page_and_fallback(self, cls):
+        policy = cls(3, 8)
+        dispatch, applied, _, fallback = self._recording_dispatch(policy)
+        assert dispatch([13]) == 1
+        assert applied == [policy.route(13)]
+        with pytest.raises(ValueError, match="out of range"):
+            dispatch([24])
+        with pytest.raises(ValueError, match="out of range"):
+            dispatch(range(20, 30))
+        # Non-range multi-page batches (the lba-modulo wrap shape) are
+        # delegated untouched to the generic buffered path.
+        applied.clear()
+        assert dispatch([5, 2, 7]) == 3
+        assert fallback == [[5, 2, 7]] and applied == []
+
+    @pytest.mark.parametrize("cls", POLICIES)
+    def test_compiled_dispatch_rejects_op_count_mismatch(self, cls):
+        policy = cls(3, 8)
+        with pytest.raises(ValueError, match="page operations"):
+            policy.compile_pages_dispatch(
+                [lambda local: None] * 2, lambda exc, done: None, lambda b: 0
+            )
+
+    @pytest.mark.parametrize("cls", POLICIES)
+    def test_compiled_dispatch_power_loss_accounting(self, cls):
+        from repro.flash.errors import PowerLossError
+
+        rng = random.Random(37)
+        for _ in range(200):
+            shards = rng.randint(1, 5)
+            per_shard = rng.randint(1, 30)
+            policy = cls(shards, per_shard)
+            start = rng.randrange(policy.total_pages)
+            stop = rng.randint(start + 1, policy.total_pages)
+            fail_at = rng.randrange(stop - start)
+            applied: list[tuple[int, int]] = []
+            losses: list[int] = []
+
+            def make_op(shard):
+                def op(local):
+                    if len(applied) == fail_at:
+                        raise PowerLossError("lights out", op_ordinal=0)
+                    applied.append((shard, local))
+                return op
+
+            dispatch = policy.compile_pages_dispatch(
+                [make_op(s) for s in range(shards)],
+                lambda exc, done: losses.append(done),
+                lambda b: 0,
+            )
+            with pytest.raises(PowerLossError):
+                dispatch(range(start, stop))
+            # The pages-completed count reported on the exception equals
+            # the number of ops that ran before the loss.
+            assert losses == [fail_at], (shards, per_shard, start, stop)
+            assert len(applied) == fail_at
+
+
+# ----------------------------------------------------------------------
 # The batched dispatcher
 # ----------------------------------------------------------------------
 class TestDispatcher:

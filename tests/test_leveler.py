@@ -209,8 +209,8 @@ class TestTriggerCounters:
     def test_on_request_advances_time(self):
         leveler, _ = make_leveler()
         leveler.on_request(12.5)
-        assert leveler._now == 12.5
-        assert leveler._requests_seen == 1
+        assert leveler.clock.now == 12.5
+        assert leveler.clock.requests == 1
 
 
 class TestPersistence:
@@ -257,6 +257,8 @@ class TestDeferredTriggerLatency:
         events: list = []
 
         class Bus:
+            mask = ~0  # every event kind enabled (see repro.obs.bus)
+
             def emit(self, event):
                 events.append(event)
 

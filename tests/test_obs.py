@@ -14,10 +14,20 @@ import json
 import logging
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-import repro.flash.chip as chip_module
 import repro.ftl.base as ftl_base_module
+import repro.obs.bus as bus_module
 from repro.core.config import SWLConfig
+from repro.obs.bus import (
+    ALL_EVENTS,
+    HOT_KINDS,
+    K_ERASE,
+    K_OBJ,
+    K_PROGRAM,
+    K_READ,
+    TraceRecord,
+)
 from repro.flash import MLC2_TINY, NandFlash
 from repro.ftl.factory import build_stack
 from repro.obs import (
@@ -282,6 +292,256 @@ class TestMetricsCollector:
 
 
 # ----------------------------------------------------------------------
+# Delivery-mode equivalence: per-event vs batched vs tallied
+# ----------------------------------------------------------------------
+@st.composite
+def _telemetry_streams(draw):
+    """A random interleaving of hot events and cold events across shards.
+
+    Each element is ``(kind, shard, event)`` with *kind* one of
+    ``"read"``, ``"program"``, ``"erase"``, ``"cold"`` — enough to
+    reconstruct every delivery form the bus uses.
+    """
+    cold_events = (
+        GcStart(reason="free-space", victim=1),
+        GcEnd(reason="free-space", victim=1, copies=2, erases=1),
+        SwlInvoke(findex=0, unevenness=2.5, ecnt=5, fcnt=2,
+                  latency_erases=1),
+        BetReset(resets=1, findex=3),
+    )
+    stream = []
+    for _ in range(draw(st.integers(min_value=0, max_value=40))):
+        shard = draw(st.integers(min_value=0, max_value=3))
+        kind = draw(st.sampled_from(("read", "program", "erase", "cold")))
+        if kind == "read":
+            event = Read(block=draw(st.integers(0, 7)),
+                         page=draw(st.integers(0, 3)))
+        elif kind == "program":
+            event = Program(block=draw(st.integers(0, 7)),
+                            page=draw(st.integers(0, 3)),
+                            lba=draw(st.integers(0, 63)))
+        elif kind == "erase":
+            event = Erase(block=draw(st.integers(0, 7)),
+                          count=draw(st.integers(1, 50)))
+        else:
+            event = draw(st.sampled_from(cold_events))
+        stream.append((kind, shard, event))
+    return stream
+
+
+class TestCollectorDeliveryEquivalence:
+    """The three bus delivery modes fold to identical metric state.
+
+    ``EventBus`` delivers the same emissions as synchronous per-record
+    calls, as a buffered op batch (``consume_batch``) or as per-kind
+    tallies (``consume_tallies``); the throughput work relies on the
+    three being interchangeable, so the equivalence is property-tested
+    here (and referenced by the ``consume_tallies`` docstring).
+    """
+
+    @staticmethod
+    def _per_event(stream, pull):
+        collector = MetricsCollector()
+        collector.set_pull_mode(pull)
+        for _, shard, event in stream:
+            collector(TraceRecord(ts=0.0, shard=shard, event=event))
+        return collector
+
+    @staticmethod
+    def _batched(stream, pull):
+        collector = MetricsCollector()
+        collector.set_pull_mode(pull)
+        batch = []
+        for kind, shard, event in stream:
+            if kind == "read":
+                batch.append((K_READ, 0.0, shard, event.block, event.page))
+            elif kind == "program":
+                batch.append((K_PROGRAM, 0.0, shard, event.block,
+                              event.page, event.lba))
+            elif kind == "erase":
+                batch.append((K_ERASE, 0.0, shard, event.block, event.count))
+            else:
+                batch.append((K_OBJ, 0.0, shard, event))
+        collector.consume_batch(batch)
+        return collector
+
+    @staticmethod
+    def _tallied(stream, pull):
+        collector = MetricsCollector()
+        collector.set_pull_mode(pull)
+        reads: list[int] = []
+        programs: list[int] = []
+        erases: list[tuple[int, int]] = []
+        ops = []
+        for kind, shard, event in stream:
+            if kind == "read":
+                reads.append(shard)
+            elif kind == "program":
+                programs.append(shard)
+            elif kind == "erase":
+                erases.append((shard, event.count))
+            else:
+                ops.append((K_OBJ, 0.0, shard, event))
+        collector.consume_tallies(reads, programs, erases, ops)
+        return collector
+
+    @staticmethod
+    def _assert_identical(reference, *others):
+        for other in others:
+            assert other.shards == reference.shards
+            assert other.snapshot() == reference.snapshot()
+            for shard in reference.shards:
+                assert (other.shard_snapshot(shard)
+                        == reference.shard_snapshot(shard))
+
+    @settings(max_examples=60, deadline=None)
+    @given(stream=_telemetry_streams())
+    def test_batched_and_tallied_match_per_event(self, stream):
+        self._assert_identical(
+            self._per_event(stream, pull=False),
+            self._batched(stream, pull=False),
+            self._tallied(stream, pull=False),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=_telemetry_streams())
+    def test_pull_mode_ignores_hot_kinds_in_every_delivery(self, stream):
+        # In pull mode all three forms must drop reads/programs/erases
+        # and agree on the surviving cold-event state.
+        pulled = self._per_event(stream, pull=True)
+        self._assert_identical(
+            pulled,
+            self._batched(stream, pull=True),
+            self._tallied(stream, pull=True),
+        )
+        snapshot = pulled.snapshot()
+        assert "repro_flash_reads_total" not in snapshot.counters
+        assert "repro_flash_programs_total" not in snapshot.counters
+        assert "repro_flash_erases_total" not in snapshot.counters
+
+
+# ----------------------------------------------------------------------
+# Pulled hot counters
+# ----------------------------------------------------------------------
+class _FakeOpCounters:
+    def __init__(self, reads=0, programs=0, erases=0):
+        self.reads = reads
+        self.programs = programs
+        self.erases = erases
+
+
+class _FakeHotSource:
+    """Minimal :class:`HotCounterSource`: counters plus a wear maximum."""
+
+    def __init__(self, reads=0, programs=0, erases=0, max_erases=0):
+        self.counters = _FakeOpCounters(reads, programs, erases)
+        self._max_erases = max_erases
+
+    def max_erase_count(self):
+        return self._max_erases
+
+
+class TestPulledHotCounters:
+    def test_pull_mode_narrows_and_restores_interest_mask(self):
+        collector = MetricsCollector()
+        assert collector.interest_mask == ALL_EVENTS
+        assert not collector.pulls_hot_counters
+        collector.set_pull_mode(True)
+        assert collector.pulls_hot_counters
+        assert collector.interest_mask == ALL_EVENTS & ~HOT_KINDS
+        collector.set_pull_mode(False)
+        assert collector.interest_mask == ALL_EVENTS
+
+    def test_repeated_pulls_apply_exact_deltas(self):
+        collector = MetricsCollector()
+        collector.set_pull_mode(True)
+        source = _FakeHotSource(reads=10, programs=5, erases=3, max_erases=7)
+        collector.pull_hot_counters({0: source})
+        snapshot = collector.snapshot()
+        assert snapshot.counters["repro_flash_reads_total"].value == 10
+        assert snapshot.counters["repro_flash_programs_total"].value == 5
+        assert snapshot.counters["repro_flash_erases_total"].value == 3
+        assert snapshot.gauges["repro_flash_max_block_erases"].value == 7
+
+        # The device advances; the next pull adds only the delta.
+        source.counters.reads = 25
+        source.counters.erases = 4
+        source._max_erases = 9
+        collector.pull_hot_counters({0: source})
+        snapshot = collector.snapshot()
+        assert snapshot.counters["repro_flash_reads_total"].value == 25
+        assert snapshot.counters["repro_flash_programs_total"].value == 5
+        assert snapshot.counters["repro_flash_erases_total"].value == 4
+        assert snapshot.gauges["repro_flash_max_block_erases"].value == 9
+
+        # An idle pull (periodic snapshot, final flush) changes nothing.
+        collector.pull_hot_counters({0: source})
+        assert collector.snapshot() == snapshot
+
+    def test_stray_hot_events_never_double_count(self):
+        # Another subscriber (say a trace exporter) may keep hot events
+        # flowing; the collector must take hot totals from pulls only.
+        collector = MetricsCollector()
+        collector.set_pull_mode(True)
+        collector(TraceRecord(ts=0.0, shard=0, event=Read(block=0, page=0)))
+        collector.consume_batch([
+            (K_READ, 0.0, 0, 0, 0),
+            (K_ERASE, 0.0, 0, 0, 5),
+            (K_OBJ, 0.0, 0, Program(block=0, page=1, lba=2)),
+        ])
+        collector.consume_tallies([0], [0], [(0, 5)], [])
+        source = _FakeHotSource(reads=4, programs=2, erases=1, max_erases=5)
+        collector.pull_hot_counters({0: source})
+        snapshot = collector.snapshot()
+        assert snapshot.counters["repro_flash_reads_total"].value == 4
+        assert snapshot.counters["repro_flash_programs_total"].value == 2
+        assert snapshot.counters["repro_flash_erases_total"].value == 1
+
+    def test_cold_events_still_fold_in_pull_mode(self):
+        collector = MetricsCollector()
+        collector.set_pull_mode(True)
+        collector(TraceRecord(ts=0.0, shard=0,
+                              event=BetReset(resets=1, findex=2)))
+        snapshot = collector.snapshot()
+        assert snapshot.counters["repro_bet_resets_total"].value == 1
+
+    def test_rewound_device_rebaselines_without_negative_delta(self):
+        # A checkpoint restore can rewind a device's cumulative totals;
+        # the pull must not decrement counters (impossible) nor replay
+        # the rewound span later — it re-baselines at the lower value.
+        collector = MetricsCollector()
+        collector.set_pull_mode(True)
+        source = _FakeHotSource(reads=100, programs=50, erases=20,
+                                max_erases=9)
+        collector.pull_hot_counters({0: source})
+        source.counters.reads = 40      # restore rewound the device
+        collector.pull_hot_counters({0: source})
+        snapshot = collector.snapshot()
+        assert snapshot.counters["repro_flash_reads_total"].value == 100
+        # Post-restore progress counts from the new baseline.
+        source.counters.reads = 70
+        collector.pull_hot_counters({0: source})
+        snapshot = collector.snapshot()
+        assert snapshot.counters["repro_flash_reads_total"].value == 130
+
+    def test_per_shard_pulls_keep_registries_separate(self):
+        collector = MetricsCollector()
+        collector.set_pull_mode(True)
+        collector.pull_hot_counters({
+            0: _FakeHotSource(reads=3, max_erases=2),
+            1: _FakeHotSource(reads=7, max_erases=6),
+        })
+        assert collector.shards == (0, 1)
+        shard0 = collector.shard_snapshot(0)
+        shard1 = collector.shard_snapshot(1)
+        assert shard0.counters["repro_flash_reads_total"].value == 3
+        assert shard1.counters["repro_flash_reads_total"].value == 7
+        merged = collector.snapshot()
+        assert merged.counters["repro_flash_reads_total"].value == 10
+        assert merged.gauges["repro_flash_max_block_erases"].value == 6
+
+
+# ----------------------------------------------------------------------
 # Exporters
 # ----------------------------------------------------------------------
 class TestExporters:
@@ -425,9 +685,12 @@ class _CountingEvent:
 
 class TestDisabledPath:
     def test_disabled_stack_emits_and_allocates_nothing(self, monkeypatch):
+        # Hot events are built inside the bus module's emit_* fast paths
+        # (the chip calls emit_read/... without constructing anything);
+        # cold GC/recovery events are still built at their emit sites.
         _CountingEvent.instances = 0
         for module, names in (
-            (chip_module, ("ReadEvent", "ProgramEvent", "EraseEvent")),
+            (bus_module, ("Read", "Program", "Erase")),
             (ftl_base_module, ("GcStart", "GcEnd", "Recovery")),
         ):
             for name in names:
@@ -439,6 +702,37 @@ class TestDisabledPath:
             stack.layer.read(index % pages)
         assert stack.total_erases() > 0  # GC certainly ran...
         assert _CountingEvent.instances == 0  # ...without one event object
+
+    def test_subscriberless_bus_allocates_and_timestamps_nothing(
+        self, monkeypatch
+    ):
+        # A bus with no subscribers must early-return from every emit
+        # path: no TraceRecord, no event object, not even a clock read.
+        clock_calls = []
+
+        def counting_clock():
+            clock_calls.append(1)
+            return 0.0
+
+        _CountingEvent.instances = 0
+        for name in ("TraceRecord", "Read", "Program", "Erase"):
+            monkeypatch.setattr(bus_module, name, _CountingEvent)
+        for module, names in (
+            (ftl_base_module, ("GcStart", "GcEnd", "Recovery")),
+        ):
+            for name in names:
+                monkeypatch.setattr(module, name, _CountingEvent)
+        bus = EventBus(clock=counting_clock)
+        stack = build_stack(
+            MLC2_TINY, "ftl", SWLConfig(threshold=20, k=0), bus=bus
+        )
+        pages = stack.layer.num_logical_pages
+        for index in range(3000):
+            stack.layer.write(index % pages)
+            stack.layer.read(index % pages)
+        assert stack.total_erases() > 0
+        assert _CountingEvent.instances == 0
+        assert clock_calls == []
 
     def test_enabled_stack_does_emit(self):
         bus = EventBus()
@@ -509,6 +803,26 @@ class TestTelemetryEquivalence:
         plain = run_fixed_horizon(spec, trace, 3600.0)
         telemetry = Telemetry(heatmap_interval=600.0)
         traced = run_fixed_horizon(spec, trace, 3600.0, telemetry=telemetry)
+        off, on = plain.as_dict(), traced.as_dict()
+        on.pop("heatmap_snapshots")
+        assert off == on
+
+    def test_four_channel_result_identical_minus_telemetry_keys(
+        self, small_run
+    ):
+        # The batched dispatcher and pulled hot counters must not change
+        # a multi-channel replay: telemetry on vs off, bit-identical
+        # results minus the telemetry-only keys.
+        spec, trace = small_run
+        array_spec = ExperimentSpec(
+            spec.driver, spec.geometry, spec.swl, seed=spec.seed,
+            channels=4, striping="page", swl_scope="global",
+        )
+        plain = run_fixed_horizon(array_spec, trace, 3600.0)
+        telemetry = Telemetry(heatmap_interval=600.0)
+        traced = run_fixed_horizon(
+            array_spec, trace, 3600.0, telemetry=telemetry
+        )
         off, on = plain.as_dict(), traced.as_dict()
         on.pop("heatmap_snapshots")
         assert off == on
