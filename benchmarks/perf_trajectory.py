@@ -1,6 +1,7 @@
 """Per-PR performance trajectory point: ``make bench-quick`` artifact.
 
-Measures four things quickly (~a minute) and writes them to
+Measures five things (a few minutes; the service soak dominates) and
+writes them to
 ``BENCH_PR.json`` at the repository root, so successive PRs leave a
 comparable breadcrumb trail:
 
@@ -22,7 +23,11 @@ comparable breadcrumb trail:
 * **telemetry overhead** — replay req/s with telemetry off vs on
   (metrics collector attached, no file exporters), guarding the
   :mod:`repro.obs` off-path contract: the *off* point must track the
-  plain throughput numbers PR over PR.
+  plain throughput numbers PR over PR;
+* **service latency** — a million-request open-loop soak through the
+  service engine (DESIGN.md §5g) for SWL-off and SWL-on at the paper's
+  T thresholds, recording overall and per-channel p50/p95/p99 so the
+  tail interference of static wear leveling is tracked PR over PR.
 
 Usage::
 
@@ -42,11 +47,13 @@ from pathlib import Path
 from repro.analysis.overhead import TABLE2_CONFIGS
 from repro.core.config import SWLConfig
 from repro.obs.telemetry import Telemetry
+from repro.service.arrival import open_loop_rate
 from repro.sim.experiment import (
     ExperimentSpec,
     make_workload,
     run_fixed_horizon,
     run_matrix,
+    run_service_soak,
     scaled_mlc2_geometry,
     workload_params_for,
 )
@@ -69,6 +76,15 @@ REPEATS = 5
 #: the two sides differ by well under the host's noise floor, so it gets
 #: extra alternating pairs.
 TELEMETRY_REPEATS = 5
+
+#: Service-latency soak: a million requests per configuration, arriving
+#: from a 2,000-client open-loop Poisson population (Palm–Khintchine:
+#: rate = clients / think_time).  Deterministic, so one run per cell.
+SERVICE_SOAK_REQUESTS = 1_000_000
+SERVICE_CLIENTS = 2_000
+SERVICE_THINK_TIME = 5.0
+SERVICE_QUEUE_DEPTH = 32
+SERVICE_CHANNELS = 4
 
 
 def _git_revision() -> str | None:
@@ -263,6 +279,75 @@ def measure_telemetry_overhead() -> dict[str, object]:
     }
 
 
+def measure_service_latency() -> dict[str, object]:
+    """Million-request service soaks: SWL-off vs SWL-on tail latency.
+
+    Every cell sees the same request stream and the same Poisson arrival
+    times (shared seed, dedicated "arrivals" RNG stream), so any latency
+    difference between cells is cleaning/wear-leveling interference.
+    """
+    geometry = scaled_mlc2_geometry(BLOCKS, scale=SCALE)
+    rate = open_loop_rate(SERVICE_CLIENTS, SERVICE_THINK_TIME)
+    base = ExperimentSpec("nftl", geometry, None, seed=SEED,
+                          channels=SERVICE_CHANNELS)
+    trace, warmup = _shared_trace(base)
+    cells = [
+        ("swl_off", None),
+        ("swl_T100", SWLConfig(threshold=100.0, k=0)),
+        ("swl_T1000", SWLConfig(threshold=1000.0, k=0)),
+    ]
+    point: dict[str, object] = {
+        "requests_per_cell": SERVICE_SOAK_REQUESTS,
+        "clients": SERVICE_CLIENTS,
+        "think_time_s": SERVICE_THINK_TIME,
+        "arrival_rate_rps": rate,
+        "queue_depth": SERVICE_QUEUE_DEPTH,
+        "channels": SERVICE_CHANNELS,
+    }
+    p99s: dict[str, float] = {}
+    for name, swl in cells:
+        spec = ExperimentSpec("nftl", geometry, swl, seed=SEED,
+                              channels=SERVICE_CHANNELS)
+        start = time.perf_counter()
+        result = run_service_soak(
+            spec, trace,
+            rate=rate,
+            max_requests=SERVICE_SOAK_REQUESTS,
+            queue_depth=SERVICE_QUEUE_DEPTH,
+            warmup=warmup,
+        )
+        wall = time.perf_counter() - start
+        p99s[name] = result.latency.p99
+        point[name] = {
+            "label": result.label,
+            "requests": result.requests,
+            "wall_s": round(wall, 3),
+            "requests_per_wall_s": round(result.requests / wall, 1),
+            "completion_time_s": round(result.completion_time, 3),
+            "stalls": result.stalls,
+            "total_erases": result.replay.total_erases,
+            "latency": {
+                key: round(value, 9) if isinstance(value, float) else value
+                for key, value in result.latency.as_dict().items()
+            },
+            "channels": [
+                {
+                    key: round(value, 9) if isinstance(value, float) else value
+                    for key, value in stats.as_dict().items()
+                }
+                for stats in result.channel_stats
+            ],
+        }
+    off_p99 = p99s["swl_off"]
+    point["tail_interference"] = {
+        f"{name}_p99_over_swl_off": (
+            round(p99s[name] / off_p99, 4) if off_p99 > 0 else None
+        )
+        for name, _ in cells[1:]
+    }
+    return point
+
+
 def main(argv: list[str]) -> int:
     output = Path(argv[1]) if len(argv) > 1 else (
         Path(__file__).resolve().parent.parent / "BENCH_PR.json"
@@ -278,6 +363,7 @@ def main(argv: list[str]) -> int:
         "table2_extra_erases": measure_table2_deltas(),
         "run_matrix_parallel": measure_run_matrix_parallel(),
         "telemetry": measure_telemetry_overhead(),
+        "service_latency": measure_service_latency(),
     }
     output.write_text(json.dumps(point, indent=2) + "\n")
     print(f"wrote {output}")
@@ -292,12 +378,33 @@ def main(argv: list[str]) -> int:
           f"(speedup {matrix['speedup']}x on {matrix['cpu_count']} CPUs, "
           f"identical={matrix['results_identical']})")
     if not matrix["speedup_meaningful"]:
-        print(f"    note: {matrix['note']}")
+        banner = "!" * 72
+        print(
+            f"{banner}\n"
+            f"!! WARNING: parallel-sweep speedup point is NOT meaningful\n"
+            f"!!   {matrix['note']}\n"
+            f"!!   The recorded {matrix['speedup']}x documents process-pool\n"
+            f"!!   overhead on this host, not scheduling performance.  Do\n"
+            f"!!   not compare it against multi-core trajectory points or\n"
+            f"!!   cite it as a parallelism result.\n"
+            f"{banner}",
+            file=sys.stderr,
+        )
     telemetry = point["telemetry"]
     print(f"  telemetry: {telemetry['off_requests_per_s']} req/s off, "
           f"{telemetry['on_requests_per_s']} req/s on "
           f"({telemetry['overhead_pct']:+.2f}%, "
           f"identical={telemetry['results_identical_minus_telemetry']})")
+    service = point["service_latency"]
+    for cell in ("swl_off", "swl_T100", "swl_T1000"):
+        latency = service[cell]["latency"]
+        print(f"  service {cell}: p50 {latency['p50_s'] * 1e3:.3f}ms, "
+              f"p95 {latency['p95_s'] * 1e3:.3f}ms, "
+              f"p99 {latency['p99_s'] * 1e3:.3f}ms "
+              f"({service[cell]['requests']} requests, "
+              f"{service[cell]['wall_s']}s wall)")
+    print(f"  service tail interference vs SWL-off: "
+          f"{service['tail_interference']}")
     return 0
 
 

@@ -13,7 +13,13 @@ build (DESIGN.md §5f):
   *when the runner has at least two CPUs*, and the parallel results must
   equal the serial ones.  On a single-CPU runner the speedup target is
   skipped with a note — a process pool cannot beat serial replay there,
-  and reporting pool overhead as a regression would be dishonest.
+  and reporting pool overhead as a regression would be dishonest;
+* **service mode** — a short open-loop soak through the service engine
+  must serve every request and report finite, ordered latency
+  percentiles overall and per channel (DESIGN.md §5g);
+* **replay golden hash** — the closed-loop replay digest must match the
+  committed golden (``benchmarks/golden_hotpath.json``): the service
+  refactor must never perturb replay results.
 
 The thresholds are deliberately loose (the full-precision trajectory
 point lives in ``BENCH_PR.json`` via ``make bench-trajectory``): this
@@ -28,9 +34,11 @@ Usage::
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 import time
+from pathlib import Path
 
 from repro.core.config import SWLConfig
 from repro.obs.telemetry import Telemetry
@@ -39,6 +47,7 @@ from repro.sim.experiment import (
     make_workload,
     run_fixed_horizon,
     run_matrix,
+    run_service_soak,
     scaled_mlc2_geometry,
     workload_params_for,
 )
@@ -63,6 +72,13 @@ TELEMETRY_MAX_OVERHEAD_PCT = 25.0
 #: ``run_matrix(workers=2)`` must at least break even with serial when
 #: the runner has two CPUs to offer.
 MIN_PARALLEL_SPEEDUP = 1.0
+
+#: Service-gate soak shape: enough requests through two channels that
+#: queueing and percentile interpolation are exercised, small enough for
+#: every CI build.
+SERVICE_REQUESTS = 20_000
+SERVICE_RATE = 400.0
+SERVICE_DEPTH = 16
 
 
 def _shared_trace(spec: ExperimentSpec):
@@ -148,8 +164,68 @@ def gate_parallel_sweep() -> list[str]:
     return failures
 
 
+def gate_service() -> list[str]:
+    geometry = scaled_mlc2_geometry(BLOCKS, scale=SCALE)
+    spec = ExperimentSpec("nftl", geometry, SWLConfig(threshold=100, k=0),
+                          seed=SEED, channels=2)
+    trace, warmup = _shared_trace(spec)
+    start = time.perf_counter()
+    result = run_service_soak(
+        spec, trace,
+        rate=SERVICE_RATE,
+        max_requests=SERVICE_REQUESTS,
+        queue_depth=SERVICE_DEPTH,
+        warmup=warmup,
+    )
+    wall = time.perf_counter() - start
+    latency = result.latency
+    print(f"service soak: {result.requests} requests in {wall:.3f}s wall, "
+          f"p50 {latency.p50 * 1e3:.3f}ms, p95 {latency.p95 * 1e3:.3f}ms, "
+          f"p99 {latency.p99 * 1e3:.3f}ms, {result.stalls} stalls")
+    failures = []
+    if result.requests != SERVICE_REQUESTS:
+        failures.append(
+            f"service soak served {result.requests} of "
+            f"{SERVICE_REQUESTS} requests"
+        )
+    summaries = [("request", latency)] + [
+        (f"channel {stats.channel}", stats.latency)
+        for stats in result.channel_stats
+    ]
+    for name, summary in summaries:
+        if not (math.isfinite(summary.p99) and summary.p99 > 0.0):
+            failures.append(
+                f"service {name} p99 not finite/positive: {summary.p99}"
+            )
+        if not summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum:
+            failures.append(
+                f"service {name} percentiles out of order: "
+                f"p50 {summary.p50}, p95 {summary.p95}, "
+                f"p99 {summary.p99}, max {summary.maximum}"
+            )
+    return failures
+
+
+def gate_replay_golden() -> list[str]:
+    """The committed golden replay hash must survive the service refactor."""
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+    )
+    from bench_hotpath import check_golden
+
+    if check_golden() != 0:
+        return ["closed-loop replay digest drifted from the committed "
+                "golden (benchmarks/golden_hotpath.json)"]
+    return []
+
+
 def main() -> int:
-    failures = gate_telemetry() + gate_parallel_sweep()
+    failures = (
+        gate_telemetry()
+        + gate_parallel_sweep()
+        + gate_service()
+        + gate_replay_golden()
+    )
     if failures:
         for failure in failures:
             print(f"SCALE GATE FAILURE: {failure}", file=sys.stderr)

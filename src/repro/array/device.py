@@ -371,6 +371,18 @@ class DeviceArray:
     def busy_time(self) -> float:
         return sum(shard.busy_time for shard in self.shards)
 
+    def shard_busy_times(self) -> list[float]:
+        """Accumulated busy time per channel shard, in shard order.
+
+        Each shard's MTD accumulates its own busy time, so diffing this
+        vector around a dispatched batch tells the service engine exactly
+        which channels worked and for how long — the per-shard queue
+        occupancy signal that lets channels serve concurrently on the
+        virtual clock while the striped mutation order stays
+        deterministic.
+        """
+        return [shard.mtd.busy_time for shard in self.shards]
+
     def _merged(self, dicts: list[dict[str, int]]) -> dict[str, int]:
         merged: dict[str, int] = {}
         for stats in dicts:

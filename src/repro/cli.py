@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's main workflows without writing code:
+Six commands cover the library's main workflows without writing code:
 
 ``generate-trace``
     Synthesize a mobile-PC trace (Section 5.1 statistics) to a file.
@@ -10,6 +10,11 @@ Five commands cover the library's main workflows without writing code:
 ``sweep``
     Run the paper's k x T first-failure sweep for one driver and print a
     Figure 5-style table.
+``serve``
+    Open-loop service soak: re-time the workload with an arrival model
+    (Poisson client population or trace-paced), push it through bounded
+    per-channel queues, and report p50/p95/p99 request latency —
+    optionally comparing SWL-off against SWL-on at each threshold T.
 ``faults``
     Run a fault-injection campaign (transient-fault soak plus a swept
     power-loss crash-consistency check) and report the verdict; exits
@@ -36,16 +41,23 @@ from repro.core.config import SWLConfig
 from repro.fault.campaign import run_fault_campaign
 from repro.fault.plan import FaultPlan
 from repro.obs.telemetry import DEFAULT_HEATMAP_BINS, Telemetry
+from repro.service.arrival import open_loop_rate
 from repro.sim.experiment import (
     ExperimentSpec,
     make_workload,
     run_fixed_horizon,
+    run_service_soak,
     run_until_first_failure,
     scaled_mlc2_geometry,
     workload_params_for,
 )
 from repro.sim.metrics import improvement_ratio
-from repro.sim.reporting import fault_campaign_report, save_report
+from repro.sim.reporting import (
+    fault_campaign_report,
+    save_report,
+    save_service_report,
+)
+from repro.sim.results import format_channel_latency, format_latency
 from repro.traces.generator import DAY, WorkloadParams
 from repro.traces.io import load_trace, save_trace
 from repro.traces.stats import summarize
@@ -174,6 +186,47 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also mirror events onto the repro.* log "
                             "channels")
     _add_stack_arguments(trace)
+
+    serve = commands.add_parser(
+        "serve",
+        help="open-loop service soak with tail-latency accounting",
+    )
+    serve.add_argument("--mode", choices=("poisson", "trace"),
+                       default="poisson",
+                       help="arrival model: open-loop Poisson client "
+                            "population or trace-paced (default: poisson)")
+    serve.add_argument("--clients", type=int, default=1000,
+                       help="simulated concurrent clients, poisson mode "
+                            "(default: 1000)")
+    serve.add_argument("--think-time", type=float, default=1.0,
+                       help="mean client think time in seconds, poisson "
+                            "mode (default: 1.0)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="explicit arrival rate in requests/s; "
+                            "overrides --clients/--think-time")
+    serve.add_argument("--speedup", type=float, default=1.0,
+                       help="trace-mode timestamp compression factor "
+                            "(default: 1 = recorded pacing)")
+    serve.add_argument("--requests", type=int, default=1_000_000,
+                       help="requests to serve (default: 1000000)")
+    serve.add_argument("--hours", type=float, default=None,
+                       help="virtual-time bound in hours (default: "
+                            "bounded by --requests only)")
+    serve.add_argument("--depth", type=int, default=64,
+                       help="per-channel queue-depth bound (default: 64)")
+    serve.add_argument("--days", type=float, default=0.25,
+                       help="generated base-trace duration in days "
+                            "(default: 0.25)")
+    serve.add_argument("--compare", action="store_true",
+                       help="run an SWL-off baseline plus SWL-on at each "
+                            "--thresholds value instead of one config")
+    serve.add_argument("--thresholds", type=float, nargs="+",
+                       default=[100, 1000],
+                       help="T values for --compare (default: 100 1000)")
+    serve.add_argument("--report", metavar="PATH",
+                       help="also write a markdown latency report to PATH")
+    _add_stack_arguments(serve)
+    _add_telemetry_arguments(serve)
 
     faults = commands.add_parser(
         "faults", help="run a fault-injection and crash-consistency campaign"
@@ -484,6 +537,74 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    params = workload_params_for(
+        spec, duration=args.days * DAY, seed=args.seed + 1
+    )
+    workload = make_workload(params)
+    trace = workload.requests()
+    warmup = workload.prefill_requests()
+    if args.mode == "poisson":
+        rate = args.rate or open_loop_rate(args.clients, args.think_time)
+        speedup = None
+        arrival_note = f"poisson, {rate:.1f} req/s"
+    else:
+        rate = None
+        speedup = args.speedup
+        arrival_note = f"trace-paced, speedup x{speedup:g}"
+    max_time = args.hours * 3600.0 if args.hours is not None else None
+
+    def soak(cell: ExperimentSpec, telemetry: Telemetry | None):
+        return run_service_soak(
+            cell, trace,
+            rate=rate, trace_speedup=speedup,
+            max_requests=args.requests, max_time=max_time,
+            queue_depth=args.depth, warmup=warmup, telemetry=telemetry,
+        )
+
+    telemetry = None
+    if args.compare:
+        if (args.telemetry or args.trace_out) and not args.trace_out:
+            print("compare-mode telemetry needs --trace-out DIR (one "
+                  "artifact set per configuration); continuing without "
+                  "telemetry", file=sys.stderr)
+        cells = [replace(spec, swl=None)] + [
+            replace(spec, swl=SWLConfig(threshold=threshold, k=args.k))
+            for threshold in args.thresholds
+        ]
+        results = []
+        for cell in cells:
+            cell_telemetry = None
+            if args.trace_out:
+                cell_telemetry = _make_telemetry(
+                    args, cell.label(),
+                    directory=str(Path(args.trace_out) / _slugify(cell.label())),
+                )
+            results.append(soak(cell, cell_telemetry))
+            if cell_telemetry is not None:
+                cell_telemetry.finish()
+    else:
+        telemetry = _make_telemetry(args, spec.label())
+        results = [soak(spec, telemetry)]
+
+    print(format_latency(
+        results,
+        title=f"Service soak ({arrival_note}, queue depth {args.depth})",
+    ))
+    for result in results:
+        print()
+        print(format_channel_latency(result))
+    if args.report:
+        save_service_report(args.report, results)
+        print(f"\nmarkdown report written to {args.report}")
+    if telemetry is not None:
+        _print_telemetry_summary(telemetry, len(results[0].replay.heatmaps))
+    elif args.trace_out:
+        print(f"telemetry artifacts written under {args.trace_out}/")
+    return 0
+
+
 def _command_faults(args: argparse.Namespace) -> int:
     if args.channels != 1:
         print("the faults campaign drives a single-channel stack; "
@@ -550,6 +671,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate-trace": _command_generate,
         "simulate": _command_simulate,
         "sweep": _command_sweep,
+        "serve": _command_serve,
         "faults": _command_faults,
         "trace": _command_trace,
     }

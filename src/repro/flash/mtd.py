@@ -49,25 +49,35 @@ class MtdDevice:
         self.geometry = flash.geometry
         self.timing = timing or timing_for(flash.geometry)
         self.busy_time = 0.0
+        #: Service time of the most recent primitive, so drivers that
+        #: need per-operation latency (the service engine) can read it
+        #: without diffing ``busy_time`` around every call.
+        self.last_op_time = 0.0
 
     # ------------------------------------------------------------------
     # Primitive operations (paper Figure 1: read / write / erase)
     # ------------------------------------------------------------------
     def read_page(self, block: int, page: int) -> tuple[int, bytes | None]:
         """Read one page; returns ``(spare_lba, payload)``."""
-        self.busy_time += self.timing.read_page
+        elapsed = self.timing.read_page
+        self.last_op_time = elapsed
+        self.busy_time += elapsed
         return self.flash.read(block, page)
 
     def write_page(
         self, block: int, page: int, *, lba: int, data: bytes | None = None
     ) -> None:
         """Program one page."""
-        self.busy_time += self.timing.program_page
+        elapsed = self.timing.program_page
+        self.last_op_time = elapsed
+        self.busy_time += elapsed
         self.flash.program(block, page, lba=lba, data=data)
 
     def erase_block(self, block: int) -> None:
         """Erase one block (~1.5 ms on MLC×2 per the paper's datasheet)."""
-        self.busy_time += self.timing.erase_block
+        elapsed = self.timing.erase_block
+        self.last_op_time = elapsed
+        self.busy_time += elapsed
         self.flash.erase(block)
 
     def invalidate_page(self, block: int, page: int) -> None:

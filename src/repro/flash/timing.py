@@ -38,6 +38,25 @@ class TimingModel:
         """Time for one live-page copy (read + program, no copy-back)."""
         return self.read_page + self.program_page
 
+    def time_for(self, op: str) -> float:
+        """Per-operation latency by primitive name.
+
+        ``op`` is one of ``"read"``, ``"program"``, ``"erase"`` — the
+        three MTD primitives of paper Figure 1.  This is the lookup the
+        service engine and exporters use to reason about a single
+        operation's service time, where the replay path only ever needs
+        the accumulated ``busy_time``.
+        """
+        if op == "read":
+            return self.read_page
+        if op == "program":
+            return self.program_page
+        if op == "erase":
+            return self.erase_block
+        raise ValueError(
+            f"unknown operation {op!r}; expected 'read', 'program', or 'erase'"
+        )
+
 
 #: Large-block SLC figures (typical 2005-era datasheet values).
 SLC_TIMING = TimingModel(

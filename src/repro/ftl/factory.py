@@ -123,6 +123,8 @@ class StorageBackend(Protocol):
     @property
     def busy_time(self) -> float: ...
 
+    def shard_busy_times(self) -> list[float]: ...
+
     def layer_stats(self) -> dict[str, int]: ...
 
     def swl_stats(self) -> dict[str, int]: ...
@@ -249,6 +251,16 @@ class StorageStack:
     @property
     def busy_time(self) -> float:
         return self.mtd.busy_time
+
+    def shard_busy_times(self) -> list[float]:
+        """Accumulated busy time per channel — one entry for one stack.
+
+        The service engine diffs this around :meth:`write_pages` /
+        :meth:`read_pages` to attribute each request's service time
+        (including any GC or SWL work it triggered) to the channels that
+        performed it.
+        """
+        return [self.mtd.busy_time]
 
     def layer_stats(self) -> dict[str, int]:
         return self.layer.stats.as_dict()

@@ -98,9 +98,10 @@ M_BET_RESET = 1 << 7
 M_FAULT_INJECTED = 1 << 8
 M_RECOVERY = 1 << 9
 M_POWER_LOSS = 1 << 10
+M_QUEUE_DEPTH = 1 << 11
 
 #: Every kind bit set — the interest of a subscriber that declares none.
-ALL_EVENTS = (1 << 11) - 1
+ALL_EVENTS = (1 << 12) - 1
 
 #: The per-operation kinds a device emits on its own hot path.  A
 #: subscriber that can reconstruct these from device state (see
@@ -121,6 +122,7 @@ KIND_MASKS: dict[str, int] = {
     "fault_injected": M_FAULT_INJECTED,
     "recovery": M_RECOVERY,
     "power_loss": M_POWER_LOSS,
+    "queue_depth": M_QUEUE_DEPTH,
 }
 
 #: Default buffered-path capacity (events held before an automatic flush).

@@ -34,6 +34,7 @@ from repro.obs.events import (
     GcStart,
     PowerLoss,
     Program,
+    QueueDepth,
     Read,
     Recovery,
     SwlInvoke,
@@ -109,6 +110,7 @@ class MetricsCollector:
             FaultInjected: self._on_fault,
             Recovery: self._on_recovery,
             PowerLoss: self._on_power_loss,
+            QueueDepth: self._on_queue_depth,
         }
 
     @property
@@ -273,6 +275,22 @@ class MetricsCollector:
     def _on_power_loss(self, registry: MetricsRegistry, event: Event) -> None:
         registry.counter("repro_power_loss_total",
                          "Scheduled power losses delivered").inc()
+
+    def _on_queue_depth(self, registry: MetricsRegistry, event: Event) -> None:
+        assert isinstance(event, QueueDepth)
+        # Peak occupancy per channel; the global merge takes the worst
+        # channel, which is the array's backpressure ceiling.
+        peak = registry.gauge("repro_service_queue_depth",
+                              "Peak channel queue occupancy sampled",
+                              agg="max")
+        if event.depth > peak.value:
+            peak.set(event.depth)
+        # Cumulative per-channel stall count rides as a summed gauge: the
+        # event carries the running total, so `set` (not `inc`) keeps
+        # repeated samples from double-counting.
+        registry.gauge("repro_service_queue_stalls",
+                       "Arrivals that waited on queue backpressure",
+                       agg="sum").set(event.stalls)
 
     # -- batched fold ------------------------------------------------------
 

@@ -168,11 +168,28 @@ class PowerLoss(Event):
     op_ordinal: int
 
 
+@dataclass(frozen=True)
+class QueueDepth(Event):
+    """A periodic per-channel queue-occupancy sample (service mode).
+
+    Emitted by the open-loop service engine (:mod:`repro.service`): the
+    channel rides the record's shard tag, ``depth`` is the number of
+    requests in flight or waiting on that channel's FIFO at the sample
+    instant, and ``stalls`` is the cumulative count of arrivals that hit
+    the bounded queue's backpressure so far.
+    """
+
+    kind: ClassVar[str] = "queue_depth"
+    depth: int
+    stalls: int
+
+
 #: All concrete event classes, keyed by their ``kind`` tag.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (
         Read, Program, Erase, GcStart, GcEnd, GcScan,
         SwlInvoke, BetReset, FaultInjected, Recovery, PowerLoss,
+        QueueDepth,
     )
 }

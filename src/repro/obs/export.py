@@ -43,6 +43,7 @@ from repro.obs.events import (
     GcStart,
     PowerLoss,
     Program,
+    QueueDepth,
     Read,
     Recovery,
     SwlInvoke,
@@ -165,6 +166,16 @@ class ChromeTraceExporter:
             self._events.append(
                 {**base, "ph": "C", "cat": "flash", "name": "erases",
                  "args": {"erases": total}})
+        elif isinstance(event, QueueDepth):
+            # Per-channel occupancy as a counter track, so service-mode
+            # traces show queue build-up alongside the GC slices that
+            # cause it (tail-latency forensics in one Perfetto view).
+            self._events.append(
+                {**base, "ph": "C", "cat": "service", "name": "queue depth",
+                 "args": {"depth": event.depth}})
+            self._events.append(
+                {**base, "ph": "C", "cat": "service", "name": "queue stalls",
+                 "args": {"stalls": event.stalls}})
         elif isinstance(event, (SwlInvoke, BetReset, FaultInjected,
                                 Recovery, PowerLoss)):
             self._events.append(

@@ -80,6 +80,27 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
+    def add_counts(self, counts: "list[int] | tuple[int, ...]",
+                   *, total: float = 0.0) -> None:
+        """Fold pre-binned observations in bulk (exact, like ``merge``).
+
+        ``counts`` must carry one slot per bucket plus the trailing +Inf
+        overflow slot, binned against this histogram's own bounds —
+        the shape :class:`HistogramSample` exposes.  ``total`` is the sum
+        of the folded observations.  The service engine uses this to
+        publish millions of per-request latency observations into the
+        registry as one fold instead of one ``observe`` call each.
+        """
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name!r} has {len(self.counts)} slots, "
+                f"got {len(counts)}"
+            )
+        for index, bucket_count in enumerate(counts):
+            self.counts[index] += bucket_count
+        self.count += sum(counts)
+        self.sum += total
+
 
 @dataclass(frozen=True)
 class CounterSample:
@@ -110,6 +131,32 @@ class HistogramSample:
     counts: tuple[int, ...]
     sum: float
     count: int
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating within buckets.
+
+        The same estimate Prometheus's ``histogram_quantile`` computes:
+        observations are assumed uniform within their bucket, the first
+        bucket interpolates from zero, and a quantile landing in the
+        +Inf overflow slot clamps to the highest finite bound (the
+        histogram cannot resolve beyond it).  Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.buckets):
+            bucket_count = self.counts[index]
+            if cumulative + bucket_count >= rank:
+                if bucket_count == 0:
+                    return bound
+                lower = self.buckets[index - 1] if index else 0.0
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (bound - lower) * fraction
+            cumulative += bucket_count
+        return self.buckets[-1] if self.buckets else 0.0
 
 
 class MetricsRegistry:

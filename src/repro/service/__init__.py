@@ -1,0 +1,30 @@
+"""Open-loop service front-end over the replay core (DESIGN.md §5g).
+
+The closed-loop replay (:mod:`repro.sim.engine`) measures wear; this
+package measures *service*: requests arrive from an arrival-rate model,
+queue in bounded per-channel FIFOs on the virtual clock, and report
+host-visible latency percentiles — including the tail interference that
+garbage collection and static wear leveling inflict on their neighbours.
+"""
+
+from repro.service.arrival import open_loop_rate, poisson_arrivals, trace_paced
+from repro.service.engine import DEFAULT_QUEUE_SAMPLE_EVERY, ServiceEngine
+from repro.service.latency import (
+    LATENCY_BUCKET_BOUNDS,
+    LatencyHistogram,
+    LatencySummary,
+)
+from repro.service.results import ChannelServiceStats, ServiceResult
+
+__all__ = [
+    "DEFAULT_QUEUE_SAMPLE_EVERY",
+    "LATENCY_BUCKET_BOUNDS",
+    "ChannelServiceStats",
+    "LatencyHistogram",
+    "LatencySummary",
+    "ServiceEngine",
+    "ServiceResult",
+    "open_loop_rate",
+    "poisson_arrivals",
+    "trace_paced",
+]

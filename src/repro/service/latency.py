@@ -1,0 +1,131 @@
+"""O(1)-memory latency accounting for the service engine.
+
+A soak run pushes millions of requests through the service engine;
+keeping every latency sample would cost gigabytes and sorting them for
+percentiles would dominate the run.  :class:`LatencyHistogram` bins
+observations into fixed geometric buckets (eight per decade from 1 µs to
+10,000 s) and estimates quantiles by linear interpolation within the
+landing bucket — the same estimator Prometheus's ``histogram_quantile``
+applies to the exported form of this very histogram, so the in-process
+p99 and the dashboard p99 agree by construction.
+
+Exact ``count``/``total``/``min``/``max`` ride alongside the bins, so
+mean and worst-case latency are precise; only the interior quantiles are
+interpolated (to within one bucket's ~33 % width).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+#: Bucket upper bounds: eight per decade, 1 µs .. 10,000 s.  Latencies in
+#: this simulator are NAND service times (25 µs reads to multi-second
+#: GC-amplified stalls), so the range brackets everything a sane run can
+#: produce; beyond-range observations land in the +Inf overflow slot.
+_DECADES = 10          # 1e-6 .. 1e4
+_PER_DECADE = 8
+LATENCY_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    1e-6 * 10.0 ** (index / _PER_DECADE)
+    for index in range(_DECADES * _PER_DECADE + 1)
+)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Frozen percentile summary of one latency population."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p95_s": self.p95,
+            "p99_s": self.p99,
+            "max_s": self.maximum,
+        }
+
+
+class LatencyHistogram:
+    """Geometric-bucket latency accumulator with interpolated quantiles."""
+
+    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        #: One slot per bound plus the trailing +Inf overflow slot.
+        self.counts = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one latency sample (seconds, >= 0)."""
+        self.counts[bisect_left(LATENCY_BUCKET_BOUNDS, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+        if value < self.minimum:
+            self.minimum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating within buckets.
+
+        The top of the distribution is clamped to the exact observed
+        maximum, so p100 (and any quantile landing in the final occupied
+        bucket) never exceeds a latency that actually happened.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if cumulative + bucket_count >= rank:
+                if bucket_count == 0:
+                    continue
+                lower = LATENCY_BUCKET_BOUNDS[index - 1] if index else 0.0
+                if index < len(LATENCY_BUCKET_BOUNDS):
+                    upper = LATENCY_BUCKET_BOUNDS[index]
+                else:
+                    upper = self.maximum  # overflow slot: exact ceiling
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(estimate, self.maximum)
+            cumulative += bucket_count
+        return self.maximum
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram in place (exact)."""
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+
+    def summary(self) -> LatencySummary:
+        """Freeze the population into a :class:`LatencySummary`."""
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean,
+            p50=self.quantile(0.50),
+            p95=self.quantile(0.95),
+            p99=self.quantile(0.99),
+            maximum=self.maximum,
+        )

@@ -1,0 +1,86 @@
+"""Result types for open-loop service runs.
+
+A :class:`ServiceResult` wraps the wear-accounting
+:class:`~repro.sim.core.SimResult` the request core produces anyway and
+adds what only service mode can measure: per-request latency percentiles
+(overall and per channel), queue occupancy/backpressure statistics, and
+the virtual-clock completion horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.latency import LatencySummary
+from repro.sim.core import SimResult
+
+
+@dataclass(frozen=True)
+class ChannelServiceStats:
+    """One channel's service-side accounting for a run."""
+
+    channel: int
+    served: int            #: requests that did work on this channel
+    busy_time: float       #: accumulated service seconds
+    peak_depth: int        #: peak outstanding requests (queued + waiters)
+    stalls: int            #: arrivals that waited on backpressure
+    stall_time: float      #: total admission-wait seconds
+    latency: LatencySummary
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "channel": self.channel,
+            "served": self.served,
+            "busy_time_s": self.busy_time,
+            "peak_depth": self.peak_depth,
+            "stalls": self.stalls,
+            "stall_time_s": self.stall_time,
+            **{f"latency_{k}": v for k, v in self.latency.as_dict().items()},
+        }
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Outcome of one open-loop service run."""
+
+    replay: SimResult               #: wear/endurance view of the same run
+    queue_depth: int                #: configured per-channel bound
+    latency: LatencySummary         #: end-to-end request latency
+    channel_stats: list[ChannelServiceStats]
+    completion_time: float          #: virtual seconds until the last completion
+
+    @property
+    def label(self) -> str:
+        return self.replay.label
+
+    @property
+    def requests(self) -> int:
+        return self.latency.count
+
+    @property
+    def channels(self) -> int:
+        return len(self.channel_stats)
+
+    @property
+    def stalls(self) -> int:
+        return sum(stats.stalls for stats in self.channel_stats)
+
+    @property
+    def service_throughput(self) -> float:
+        """Requests completed per *virtual* second."""
+        if self.completion_time <= 0:
+            return 0.0
+        return self.requests / self.completion_time
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "requests": self.requests,
+            "queue_depth": self.queue_depth,
+            "completion_time_s": self.completion_time,
+            "service_throughput_rps": self.service_throughput,
+            "stalls": self.stalls,
+            **{f"latency_{k}": v for k, v in self.latency.as_dict().items()},
+            "channels": [stats.as_dict() for stats in self.channel_stats],
+            "replay": self.replay.as_dict(),
+        }

@@ -11,7 +11,10 @@ reusable functions:
 * :func:`run_fixed_horizon` replays for a fixed amount of simulated time,
   continuing past wear-out exactly like the paper's 10-year Table 4 runs;
 * :func:`run_matrix` executes a list of configurations against one shared
-  base trace, which is how every figure's k x T sweep is produced.
+  base trace, which is how every figure's k x T sweep is produced;
+* :func:`run_service_soak` / :func:`run_service_matrix` drive the
+  open-loop service engine (:mod:`repro.service`) instead of the replay
+  loop, reporting latency percentiles rather than endurance.
 
 Scaled geometries keep all structural parameters of the paper's setup
 (pages/block, GC trigger, greedy policy) — see DESIGN.md, Substitutions.
@@ -28,6 +31,9 @@ from repro.flash.geometry import CellType, FlashGeometry
 from repro.ftl.base import DEFAULT_OP_RATIO
 from repro.ftl.factory import StorageBackend, build_backend
 from repro.obs.telemetry import DEFAULT_HEATMAP_BINS
+from repro.service.arrival import poisson_arrivals, trace_paced
+from repro.service.engine import ServiceEngine
+from repro.service.results import ServiceResult
 from repro.sim.engine import Simulator, SimResult, StopCondition
 from repro.traces.extend import SegmentResampler
 from repro.traces.generator import MobilePCWorkload, WorkloadParams
@@ -274,6 +280,105 @@ def run_fixed_horizon(
     if telemetry is not None:
         telemetry.flush()
     return result
+
+
+def run_service_soak(
+    spec: ExperimentSpec,
+    base_trace: list[Request],
+    *,
+    rate: float | None = None,
+    trace_speedup: float | None = None,
+    max_requests: int | None = None,
+    max_time: float | None = None,
+    queue_depth: int = 64,
+    warmup: list[Request] | None = None,
+    telemetry: "Telemetry | None" = None,
+) -> ServiceResult:
+    """Serve the resampled endless trace through the open-loop engine.
+
+    Where the replay runners measure *wear*, this one measures *service*:
+    requests are re-timed by an arrival model — ``rate`` selects an
+    open-loop Poisson process (``rate`` requests per simulated second,
+    e.g. :func:`repro.service.arrival.open_loop_rate` for a client
+    population), ``trace_speedup`` keeps the trace's own pacing
+    compressed by that factor — and flow through bounded per-channel
+    FIFO queues, yielding host-visible latency percentiles.  Exactly one
+    arrival model must be chosen.
+
+    Arrival randomness draws from a dedicated ``"arrivals"`` stream of
+    the spec's seed, so enabling service mode never perturbs the
+    resampler or leveler randomness; reads are replayed (never skipped):
+    their service time is part of the latency being measured.
+    """
+    if (rate is None) == (trace_speedup is None):
+        raise ValueError(
+            "choose exactly one arrival model: "
+            "rate (Poisson) or trace_speedup (trace-paced)"
+        )
+    engine = ServiceEngine(
+        spec.build(telemetry=telemetry),
+        queue_depth=queue_depth,
+        telemetry=telemetry,
+        heatmap_interval=(
+            telemetry.heatmap_interval if telemetry is not None else None
+        ),
+        heatmap_bins=(
+            telemetry.heatmap_bins if telemetry is not None
+            else DEFAULT_HEATMAP_BINS
+        ),
+    )
+    if warmup:
+        for request in warmup:
+            engine.apply(request)
+    rng = make_rng(spec.seed)
+    endless = SegmentResampler(
+        base_trace, rng=spawn_rng(rng, "resampler")
+    ).iter_requests()
+    if rate is not None:
+        arrivals = poisson_arrivals(endless, rate, spawn_rng(rng, "arrivals"))
+    else:
+        assert trace_speedup is not None
+        arrivals = trace_paced(endless, speedup=trace_speedup)
+    return engine.serve(
+        arrivals,
+        max_requests=max_requests,
+        max_time=max_time,
+        label=spec.label(),
+    )
+
+
+def run_service_matrix(
+    specs: list[ExperimentSpec],
+    base_trace: list[Request],
+    *,
+    rate: float | None = None,
+    trace_speedup: float | None = None,
+    max_requests: int | None = None,
+    max_time: float | None = None,
+    queue_depth: int = 64,
+    warmup: list[Request] | None = None,
+) -> list[ServiceResult]:
+    """Soak each spec against one shared trace and arrival model.
+
+    The standard comparison is SWL-off vs SWL-on at the paper's T
+    thresholds: identical requests, identical arrivals, so any latency
+    difference is cleaning/leveling interference.  Runs serially — each
+    cell is deterministic from its spec alone, and service runs are
+    usually few (one per T) rather than a full k x T sweep.
+    """
+    return [
+        run_service_soak(
+            spec,
+            base_trace,
+            rate=rate,
+            trace_speedup=trace_speedup,
+            max_requests=max_requests,
+            max_time=max_time,
+            queue_depth=queue_depth,
+            warmup=warmup,
+        )
+        for spec in specs
+    ]
 
 
 #: Per-worker matrix context installed by :func:`_matrix_worker_init`.

@@ -17,6 +17,7 @@ from repro.sim.metrics import improvement_ratio
 if TYPE_CHECKING:
     from repro.ckpt.supervisor import CampaignReport
     from repro.fault.campaign import FaultCampaignResult
+    from repro.service.results import ServiceResult
 
 
 def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -159,6 +160,124 @@ def save_report(
     """Write :func:`markdown_report` output to ``path``."""
     with open(path, "w") as handle:
         handle.write(markdown_report(results, **kwargs))  # type: ignore[arg-type]
+
+
+def service_markdown_report(
+    results: "Sequence[ServiceResult]",
+    *,
+    title: str = "Service-mode latency report",
+    baseline_label: str | None = None,
+) -> str:
+    """Render open-loop service runs as a markdown document.
+
+    The summary table compares request-latency percentiles across
+    configurations — with an SWL-off baseline this is the paper's tail
+    interference story told in milliseconds — followed by per-channel
+    breakdowns and the wear view of each run.  ``baseline_label`` names
+    the row the p99 delta column is computed against; defaults to the
+    first result.
+    """
+    if not results:
+        raise ValueError("no results to report")
+    baseline = results[0]
+    if baseline_label is not None:
+        matches = [r for r in results if r.label == baseline_label]
+        if not matches:
+            raise ValueError(f"no result labelled {baseline_label!r}")
+        baseline = matches[0]
+
+    def ms(seconds: float) -> str:
+        return f"{seconds * 1e3:.3f}"
+
+    def p99_delta(result: "ServiceResult") -> str:
+        if result is baseline:
+            return "—"
+        if baseline.latency.p99 <= 0:
+            return "n/a"
+        ratio = (result.latency.p99 / baseline.latency.p99 - 1.0) * 100.0
+        return f"{ratio:+.1f}%"
+
+    summary_rows = [
+        [result.label,
+         result.requests,
+         ms(result.latency.p50),
+         ms(result.latency.p95),
+         ms(result.latency.p99),
+         p99_delta(result),
+         ms(result.latency.maximum),
+         result.stalls]
+        for result in results
+    ]
+    sections = [
+        f"# {title}",
+        "",
+        "Open-loop service runs: identical request streams and arrival",
+        "times per configuration, so latency differences are cleaning and",
+        "wear-leveling interference (see DESIGN.md §5g).",
+        "",
+        "## Latency summary",
+        "",
+        _markdown_table(
+            ["Configuration", "Requests", "p50 (ms)", "p95 (ms)",
+             "p99 (ms)", "p99 vs baseline", "Max (ms)", "Stalls"],
+            summary_rows,
+        ),
+    ]
+    for result in results:
+        sections += ["", f"## {result.label}", ""]
+        detail_rows: list[list[object]] = [
+            ["requests served", result.requests],
+            ["queue depth bound", result.queue_depth],
+            ["completion horizon", f"{result.completion_time:.2f} s"],
+            ["service throughput",
+             f"{result.service_throughput:.0f} req/s"],
+            ["mean latency", f"{ms(result.latency.mean)} ms"],
+            ["backpressure stalls", result.stalls],
+            ["garbage collections", result.replay.gc_runs],
+            ["total erases", result.replay.total_erases],
+        ]
+        for key, value in sorted(result.replay.swl_stats.items()):
+            if key == "findex_history":
+                continue
+            detail_rows.append([f"SWL {key.replace('_', ' ')}", value])
+        if result.replay.power_lost:
+            detail_rows.append(["power lost", "yes (run ended early)"])
+        sections.append(_markdown_table(["Metric", "Value"], detail_rows))
+        sections += [
+            "",
+            "Per-channel latency:",
+            "",
+            _markdown_table(
+                ["Channel", "Served", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+                 "Max (ms)", "Peak depth", "Stalls", "Stall time (s)"],
+                [
+                    [f"channel {stats.channel}",
+                     stats.served,
+                     ms(stats.latency.p50),
+                     ms(stats.latency.p95),
+                     ms(stats.latency.p99),
+                     ms(stats.latency.maximum),
+                     stats.peak_depth,
+                     stats.stalls,
+                     f"{stats.stall_time:.2f}"]
+                    for stats in result.channel_stats
+                ],
+            ),
+        ]
+    sections.append("")
+    return "\n".join(sections)
+
+
+def save_service_report(
+    path: str,
+    results: "Sequence[ServiceResult]",
+    **kwargs: object,
+) -> None:
+    """Write :func:`service_markdown_report` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(
+            service_markdown_report(results, **kwargs)  # type: ignore[arg-type]
+        )
 
 
 def campaign_markdown_report(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.service.results import ServiceResult
 from repro.sim.engine import SimResult
 from repro.sim.metrics import improvement_ratio, increased_ratio
 from repro.util.tables import format_table
@@ -102,4 +103,80 @@ def format_overheads(
         ["Configuration", "Block erases (%)", "Live-page copyings (%)"],
         overhead_rows(baseline, swl_results),
         title=title or "Increased overhead ratios (paper Figures 6-7 layout)",
+    )
+
+
+def _ms(seconds: float) -> str:
+    """Render a latency in milliseconds with sub-µs noise trimmed."""
+    return f"{seconds * 1e3:.3f}"
+
+
+def latency_rows(results: "Sequence[ServiceResult]") -> list[list[object]]:
+    """Latency-percentile rows, one per service run.
+
+    Percentile columns are milliseconds; ``Stalls`` counts arrivals that
+    hit per-channel backpressure.  With an SWL-off baseline first and
+    SWL-on runs after, the p95/p99 columns read directly as the tail
+    interference the wear leveler adds.
+    """
+    return [
+        [
+            result.label,
+            result.requests,
+            _ms(result.latency.p50),
+            _ms(result.latency.p95),
+            _ms(result.latency.p99),
+            _ms(result.latency.maximum),
+            result.stalls,
+        ]
+        for result in results
+    ]
+
+
+LATENCY_HEADERS = [
+    "Configuration", "Requests",
+    "p50 (ms)", "p95 (ms)", "p99 (ms)", "Max (ms)", "Stalls",
+]
+
+
+def format_latency(
+    results: "Sequence[ServiceResult]", *, title: str | None = None
+) -> str:
+    return format_table(
+        LATENCY_HEADERS,
+        latency_rows(results),
+        title=title or "Request latency percentiles (service mode)",
+    )
+
+
+def channel_latency_rows(result: "ServiceResult") -> list[list[object]]:
+    """Per-channel latency/queue rows for one service run."""
+    return [
+        [
+            f"channel {stats.channel}",
+            stats.served,
+            _ms(stats.latency.p50),
+            _ms(stats.latency.p95),
+            _ms(stats.latency.p99),
+            _ms(stats.latency.maximum),
+            stats.peak_depth,
+            stats.stalls,
+        ]
+        for stats in result.channel_stats
+    ]
+
+
+CHANNEL_LATENCY_HEADERS = [
+    "Channel", "Served",
+    "p50 (ms)", "p95 (ms)", "p99 (ms)", "Max (ms)", "Peak depth", "Stalls",
+]
+
+
+def format_channel_latency(
+    result: "ServiceResult", *, title: str | None = None
+) -> str:
+    return format_table(
+        CHANNEL_LATENCY_HEADERS,
+        channel_latency_rows(result),
+        title=title or f"Per-channel latency — {result.label}",
     )
