@@ -27,7 +27,12 @@ comparable breadcrumb trail:
 * **service latency** — a million-request open-loop soak through the
   service engine (DESIGN.md §5g) for SWL-off and SWL-on at the paper's
   T thresholds, recording overall and per-channel p50/p95/p99 so the
-  tail interference of static wear leveling is tracked PR over PR.
+  tail interference of static wear leveling is tracked PR over PR;
+* **endurance projections** — TBW and days-at-1-DWPD under the
+  hotspot workload (Zipf θ = 0.99) for SWL-on (T = 100) vs SWL-off
+  (DESIGN.md §5h), plus replay req/s for every workload shape, so the
+  lifetime gain of static wear leveling and the generator overhead are
+  both tracked PR over PR.
 
 Usage::
 
@@ -46,10 +51,12 @@ from pathlib import Path
 
 from repro.analysis.overhead import TABLE2_CONFIGS
 from repro.core.config import SWLConfig
+from repro.endurance import endurance_cells, run_endurance_matrix
 from repro.obs.telemetry import Telemetry
 from repro.service.arrival import open_loop_rate
 from repro.sim.experiment import (
     ExperimentSpec,
+    logical_sectors_of,
     make_workload,
     run_fixed_horizon,
     run_matrix,
@@ -57,6 +64,7 @@ from repro.sim.experiment import (
     scaled_mlc2_geometry,
     workload_params_for,
 )
+from repro.workloads import SHAPE_NAMES, ShapeParams, make_shape
 
 #: Quick-mode knobs: small chip, compressed endurance, short horizon.
 BLOCKS = 48
@@ -85,6 +93,12 @@ SERVICE_CLIENTS = 2_000
 SERVICE_THINK_TIME = 5.0
 SERVICE_QUEUE_DEPTH = 32
 SERVICE_CHANNELS = 4
+
+#: Endurance point: hotspot skew for the SWL-on/off TBW comparison, and
+#: the generated-workload arrival rate (matching the mobile-PC trace's
+#: ~4 req/s so req/s points are comparable across sections).
+ENDURE_THETA = 0.99
+ENDURE_RATE = 4.0
 
 
 def _git_revision() -> str | None:
@@ -348,6 +362,79 @@ def measure_service_latency() -> dict[str, object]:
     return point
 
 
+def measure_endurance() -> dict[str, object]:
+    """Endurance projections (DESIGN.md §5h): SWL lifetime gain + shapes.
+
+    The headline pair is hotspot θ = 0.99 with and without SWL (T = 100)
+    on the same generated trace — the TBW and days-at-1-DWPD gap is the
+    lifetime static wear leveling buys under a pathological hot set.
+    The pair runs on NFTL (like the service soak): block-level mapping
+    leaves cold blocks genuinely static, which is the wear pattern the
+    paper's mechanism targets — the page-mapping FTL's dynamic wear
+    leveling already spreads a pure hotspot on its own, so an FTL pair
+    would track noise around zero instead of the SWL effect.  The
+    per-workload block replays every shape through the FTL+SWL hot path
+    once (the stack whose req/s the throughput section tracks),
+    recording generator+replay req/s per shape.
+    """
+    geometry = scaled_mlc2_geometry(BLOCKS, scale=SCALE)
+    off_spec = ExperimentSpec("nftl", geometry, None, seed=SEED)
+    on_spec = ExperimentSpec("nftl", geometry, SWLConfig(threshold=100, k=0),
+                             seed=SEED)
+    cells = endurance_cells(["hotspot"], [off_spec, on_spec])
+    results = run_endurance_matrix(
+        cells, horizon=HORIZON, rate=ENDURE_RATE, theta=ENDURE_THETA,
+        seed=SEED,
+    )
+    assert all(result is not None for result in results)
+    point: dict[str, object] = {
+        "workload": "hotspot",
+        "driver": "nftl",
+        "theta": ENDURE_THETA,
+        "rate_rps": ENDURE_RATE,
+    }
+    for name, result in zip(("swl_off", "swl_T100"), results):
+        projection = result.projection
+        point[name] = {
+            "label": projection.label,
+            "requests": result.replay.requests,
+            "waf": round(projection.waf, 4),
+            "erase_max": projection.erase_maximum,
+            "wear_skew": round(projection.wear_skew, 4),
+            "tbw_gb": round(projection.tbw_bytes / 1e9, 4),
+            "days_at_one_dwpd": round(projection.days_at_one_dwpd, 2),
+            "first_failure_days": round(
+                projection.projected_first_failure_days, 2
+            ),
+        }
+    off_tbw = results[0].projection.tbw_bytes
+    on_tbw = results[1].projection.tbw_bytes
+    point["swl_tbw_gain"] = round(on_tbw / off_tbw - 1.0, 4)
+
+    ftl_spec = ExperimentSpec("ftl", geometry, SWLConfig(threshold=100, k=0),
+                              seed=SEED)
+    sectors = logical_sectors_of(ftl_spec)
+    per_workload: dict[str, object] = {}
+    for shape_name in SHAPE_NAMES:
+        shape = make_shape(
+            shape_name,
+            ShapeParams(total_sectors=sectors, rate=ENDURE_RATE, seed=SEED),
+            theta=ENDURE_THETA,
+        )
+        start = time.perf_counter()
+        trace = shape.requests(HORIZON)
+        result = run_fixed_horizon(ftl_spec, trace, HORIZON)
+        wall = time.perf_counter() - start
+        per_workload[shape_name] = {
+            "requests": result.requests,
+            "wall_s": round(wall, 3),
+            "requests_per_s": round(result.requests / wall, 1),
+        }
+    point["per_workload_driver"] = "ftl"
+    point["per_workload_throughput"] = per_workload
+    return point
+
+
 def main(argv: list[str]) -> int:
     output = Path(argv[1]) if len(argv) > 1 else (
         Path(__file__).resolve().parent.parent / "BENCH_PR.json"
@@ -364,6 +451,7 @@ def main(argv: list[str]) -> int:
         "run_matrix_parallel": measure_run_matrix_parallel(),
         "telemetry": measure_telemetry_overhead(),
         "service_latency": measure_service_latency(),
+        "endurance": measure_endurance(),
     }
     output.write_text(json.dumps(point, indent=2) + "\n")
     print(f"wrote {output}")
@@ -405,6 +493,18 @@ def main(argv: list[str]) -> int:
               f"{service[cell]['wall_s']}s wall)")
     print(f"  service tail interference vs SWL-off: "
           f"{service['tail_interference']}")
+    endurance = point["endurance"]
+    for cell in ("swl_off", "swl_T100"):
+        row = endurance[cell]
+        print(f"  endurance {cell}: {row['tbw_gb']} GB TBW, "
+              f"{row['days_at_one_dwpd']} days @ 1 DWPD, "
+              f"WAF {row['waf']}, skew {row['wear_skew']}")
+    print(f"  endurance SWL TBW gain (hotspot θ={endurance['theta']}): "
+          f"{endurance['swl_tbw_gain'] * 100:+.1f}%")
+    shapes = endurance["per_workload_throughput"]
+    print("  workload replay req/s: " + ", ".join(
+        f"{name} {stats['requests_per_s']}" for name, stats in shapes.items()
+    ))
     return 0
 
 

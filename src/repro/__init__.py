@@ -18,7 +18,12 @@ The package layers exactly like the paper's Figure 1:
 * :mod:`repro.sim` — the trace-replay engine and experiment protocols;
 * :mod:`repro.analysis` — the analytic models of Section 4;
 * :mod:`repro.obs` — the telemetry subsystem: typed event tracing,
-  metrics, wear heatmaps, and exporters (off by default, zero-cost).
+  metrics, wear heatmaps, and exporters (off by default, zero-cost);
+* :mod:`repro.workloads` — composable workload shapes (hotspot,
+  sequential, uniform, mixed, phase-shifting) and the multi-tenant
+  multiplexer with per-tenant wear attribution;
+* :mod:`repro.endurance` — lifetime projection: WAF, TBW, DWPD, and
+  first-failure horizons via the ``repro endure`` CLI.
 
 Quickstart
 ----------
@@ -43,6 +48,12 @@ from repro.core import (
     SWLConfig,
     SWLeveler,
     paper_sweep,
+)
+from repro.endurance import (
+    EnduranceProjection,
+    endurance_cells,
+    project_endurance,
+    run_endurance_matrix,
 )
 from repro.fault import (
     CrashConsistencyHarness,
@@ -96,6 +107,14 @@ from repro.sim import (
     workload_params_for,
 )
 from repro.traces import MobilePCWorkload, Op, Request, SegmentResampler, WorkloadParams
+from repro.workloads import (
+    MultiTenantWorkload,
+    ShapeParams,
+    TenantSpec,
+    make_shape,
+    run_multi_tenant_replay,
+    run_multi_tenant_service,
+)
 
 __version__ = "1.0.0"
 
@@ -106,6 +125,7 @@ __all__ = [
     "CrashConsistencyHarness",
     "DeviceArray",
     "DualPoolLeveler",
+    "EnduranceProjection",
     "EventBus",
     "ExperimentSpec",
     "FatFileSystem",
@@ -121,6 +141,7 @@ __all__ = [
     "MetricsSnapshot",
     "MobilePCWorkload",
     "MtdDevice",
+    "MultiTenantWorkload",
     "NFTL",
     "NandFlash",
     "Op",
@@ -129,6 +150,7 @@ __all__ = [
     "SWLConfig",
     "SWLeveler",
     "SegmentResampler",
+    "ShapeParams",
     "SimResult",
     "Simulator",
     "StopCondition",
@@ -136,6 +158,7 @@ __all__ = [
     "StorageStack",
     "StripingPolicy",
     "Telemetry",
+    "TenantSpec",
     "TranslationLayer",
     "WearCoordinator",
     "WearHeatmap",
@@ -144,15 +167,21 @@ __all__ = [
     "build_array",
     "build_backend",
     "build_stack",
+    "endurance_cells",
     "make_base_trace",
+    "make_shape",
     "make_striping",
     "markdown_report",
     "mlc2",
     "paper_sweep",
+    "project_endurance",
     "render_prometheus",
+    "run_endurance_matrix",
     "run_fault_campaign",
     "run_fixed_horizon",
     "run_matrix",
+    "run_multi_tenant_replay",
+    "run_multi_tenant_service",
     "run_until_first_failure",
     "slc_large_block",
     "slc_small_block",

@@ -91,12 +91,19 @@ def ideal_leveling_gain(pinned: float) -> float:
 
 @dataclass(frozen=True)
 class LifetimeProjection:
-    """Extrapolated device lifetime from an observed wear distribution."""
+    """Extrapolated device lifetime from an observed wear distribution.
+
+    ``observed_waf`` / ``projected_waf`` record the write-amplification
+    assumption behind the projection when the caller supplied one
+    (``None`` = the historical WAF-blind extrapolation).
+    """
 
     observed_time: float          #: simulated seconds observed
     endurance: int                #: rated cycles per block
     max_erase_count: int
     projected_first_failure: float  #: seconds until the hottest block dies
+    observed_waf: float | None = None
+    projected_waf: float | None = None
 
     @property
     def projected_years(self) -> float:
@@ -104,27 +111,51 @@ class LifetimeProjection:
 
 
 def project_lifetime(
-    counts: Sequence[int], observed_time: float, endurance: int
+    counts: Sequence[int],
+    observed_time: float,
+    endurance: int,
+    *,
+    observed_waf: float | None = None,
+    projected_waf: float | None = None,
 ) -> LifetimeProjection:
     """Linear first-failure projection from a fixed-horizon run.
 
     Assumes the hottest block keeps wearing at its observed rate — the
     standard firmware-endurance estimate, and a cross-check for the
     direct Figure 5 measurement.
+
+    The observed erase rate already embeds the measured write
+    amplification; when the workload ahead will amplify differently,
+    pass both ``observed_waf`` and ``projected_waf`` and the erase rate
+    is rescaled by their ratio (a doubled WAF halves the horizon).  The
+    arithmetic delegates to the repository's single WAF-aware
+    chokepoint, :func:`repro.endurance.projection.first_failure_horizon`.
     """
-    if observed_time <= 0:
-        raise ValueError("observed_time must be positive")
-    if endurance <= 0:
-        raise ValueError("endurance must be positive")
+    # Imported lazily: analysis.endurance loads during repro.sim's own
+    # import (via reporting -> figures), before repro.endurance's
+    # matrix module could resolve its sim.experiment imports.
+    from repro.endurance.projection import first_failure_horizon
+
+    if (observed_waf is None) != (projected_waf is None):
+        raise ValueError(
+            "pass observed_waf and projected_waf together or not at all"
+        )
+    if observed_waf is not None:
+        if observed_waf < 1.0 or projected_waf is None or projected_waf < 1.0:
+            raise ValueError("write amplification factors must be >= 1.0")
+        waf_ratio = projected_waf / observed_waf
+    else:
+        waf_ratio = 1.0
     distribution = EraseDistribution.from_counts(counts)
     hottest = distribution.maximum
-    if hottest == 0:
-        projected = float("inf")
-    else:
-        projected = observed_time * endurance / hottest
+    projected = first_failure_horizon(
+        observed_time, endurance, hottest, waf_ratio=waf_ratio
+    )
     return LifetimeProjection(
         observed_time=observed_time,
         endurance=endurance,
         max_erase_count=hottest,
         projected_first_failure=projected,
+        observed_waf=observed_waf,
+        projected_waf=projected_waf,
     )

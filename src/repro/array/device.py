@@ -367,6 +367,9 @@ class DeviceArray:
     def total_erases(self) -> int:
         return sum(shard.total_erases() for shard in self.shards)
 
+    def total_programs(self) -> int:
+        return sum(shard.total_programs() for shard in self.shards)
+
     @property
     def busy_time(self) -> float:
         return sum(shard.busy_time for shard in self.shards)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's main workflows without writing code:
+These commands cover the library's main workflows without writing code:
 
 ``generate-trace``
     Synthesize a mobile-PC trace (Section 5.1 statistics) to a file.
@@ -15,6 +15,12 @@ Six commands cover the library's main workflows without writing code:
     (Poisson client population or trace-paced), push it through bounded
     per-channel queues, and report p50/p95/p99 request latency —
     optionally comparing SWL-off against SWL-on at each threshold T.
+``endure``
+    Project device lifetime (WAF, TBW, DWPD, first-failure horizon)
+    across generated workload shapes, SWL-on vs SWL-off, single- and
+    multi-channel — optionally with a multi-tenant replay whose
+    per-tenant wear attribution rows must sum exactly to the device
+    totals.
 ``faults``
     Run a fault-injection campaign (transient-fault soak plus a swept
     power-loss crash-consistency check) and report the verdict; exits
@@ -38,12 +44,14 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.core.config import SWLConfig
+from repro.endurance import endurance_cells, run_endurance_matrix
 from repro.fault.campaign import run_fault_campaign
 from repro.fault.plan import FaultPlan
 from repro.obs.telemetry import DEFAULT_HEATMAP_BINS, Telemetry
 from repro.service.arrival import open_loop_rate
 from repro.sim.experiment import (
     ExperimentSpec,
+    logical_sectors_of,
     make_workload,
     run_fixed_horizon,
     run_service_soak,
@@ -54,8 +62,20 @@ from repro.sim.experiment import (
 from repro.sim.metrics import improvement_ratio
 from repro.sim.reporting import (
     fault_campaign_report,
+    save_endurance_report,
     save_report,
     save_service_report,
+)
+from repro.workloads import (
+    DEFAULT_PHASE_PERIOD,
+    DEFAULT_THETA,
+    SHAPE_NAMES,
+    TENANT_POLICIES,
+    MultiTenantWorkload,
+    ShapeParams,
+    TenantSpec,
+    make_shape,
+    run_multi_tenant_replay,
 )
 from repro.sim.results import format_channel_latency, format_latency
 from repro.traces.generator import DAY, WorkloadParams
@@ -227,6 +247,43 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write a markdown latency report to PATH")
     _add_stack_arguments(serve)
     _add_telemetry_arguments(serve)
+
+    endure = commands.add_parser(
+        "endure",
+        help="project device lifetime (WAF/TBW/DWPD) across workload shapes",
+    )
+    endure.add_argument("--shapes", nargs="+", choices=SHAPE_NAMES,
+                        default=["hotspot", "sequential", "mixed", "phase"],
+                        help="workload shapes to project (default: hotspot "
+                             "sequential mixed phase)")
+    endure.add_argument("--horizon-days", type=float, default=0.25,
+                        help="measured replay horizon per cell in simulated "
+                             "days (default: 0.25)")
+    endure.add_argument("--rate", type=float, default=4.0,
+                        help="workload request rate in req/s (default: 4, "
+                             "the mobile-PC trace's ballpark)")
+    endure.add_argument("--theta", type=float, default=DEFAULT_THETA,
+                        help="Zipf exponent of hotspot/phase shapes "
+                             f"(default: {DEFAULT_THETA})")
+    endure.add_argument("--period", type=float, default=DEFAULT_PHASE_PERIOD,
+                        help="hot-set migration period of the phase shape in "
+                             f"seconds (default: {DEFAULT_PHASE_PERIOD:g})")
+    endure.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the cell matrix "
+                             "(default: serial)")
+    endure.add_argument("--tenants", type=int, default=0,
+                        help="also run a multi-tenant attribution replay "
+                             "with this many tenants (default: 0 = skip)")
+    endure.add_argument("--tenant-requests", type=int, default=20_000,
+                        help="requests in the multi-tenant replay "
+                             "(default: 20000)")
+    endure.add_argument("--tenant-policy", choices=TENANT_POLICIES,
+                        default="merge",
+                        help="tenant interleaving policy (default: merge)")
+    endure.add_argument("--report", metavar="PATH",
+                        help="also write a markdown projection report to PATH")
+    _add_stack_arguments(endure)
+    _add_telemetry_arguments(endure)
 
     faults = commands.add_parser(
         "faults", help="run a fault-injection and crash-consistency campaign"
@@ -605,6 +662,147 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Shapes cycled over the tenants of ``repro endure --tenants N`` — the
+#: first three give the canonical demo: a hotspot tenant, a
+#: phase-shifting one, and a mixed read/write one.
+_TENANT_SHAPE_CYCLE = ("hotspot", "phase", "mixed")
+
+
+def _command_endure(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    channel_counts = sorted({1, args.channels})
+    swl_variants: list[SWLConfig | None] = [None]
+    if not args.no_swl:
+        swl_variants.append(SWLConfig(threshold=args.threshold, k=args.k))
+    specs = [
+        replace(spec, swl=swl, channels=count)
+        for count in channel_counts
+        for swl in swl_variants
+    ]
+    cells = endurance_cells(list(args.shapes), specs)
+    results = [
+        result
+        for result in run_endurance_matrix(
+            cells,
+            horizon=args.horizon_days * DAY,
+            rate=args.rate,
+            theta=args.theta,
+            period=args.period,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        if result is not None
+    ]
+    # SWL-on cells report their TBW gain over the matching SWL-off cell
+    # (same workload, same channel count).
+    swl_off_tbw = {
+        (r.cell.workload, r.cell.spec.channels): r.projection.tbw_bytes
+        for r in results
+        if r.cell.spec.swl is None
+    }
+    gb = 1e9
+    rows: list[list[object]] = []
+    for result in results:
+        projection = result.projection
+        key = (result.cell.workload, result.cell.spec.channels)
+        if result.cell.spec.swl is None or key not in swl_off_tbw:
+            gain = "—"
+        else:
+            gain = f"{(projection.tbw_bytes / swl_off_tbw[key] - 1) * 100:+.1f}%"
+        rows.append([
+            projection.label,
+            f"{projection.waf:.3f}",
+            projection.erase_maximum,
+            f"{projection.wear_skew:.2f}",
+            f"{projection.tbw_bytes / gb:.2f}",
+            f"{projection.days_at_one_dwpd:.1f}",
+            f"{projection.projected_first_failure_days:.1f}",
+            gain,
+        ])
+    print(format_table(
+        ["Cell", "WAF", "Erase max", "Skew", "TBW (GB)",
+         "Days @1 DWPD", "First failure (d)", "SWL TBW gain"],
+        rows,
+        title=f"Endurance projections ({args.blocks} blocks/channel, "
+              f"endurance {10_000 // args.scale}, "
+              f"{args.horizon_days:g}-day horizon)",
+    ))
+
+    tenants = None
+    tenant_replay = None
+    status = 0
+    if args.tenants > 0:
+        tenant_spec = specs[-1]  # SWL-on (unless --no-swl) at --channels
+        sectors = logical_sectors_of(tenant_spec)
+        tenant_specs = [
+            TenantSpec(
+                name=f"tenant{index}-{_TENANT_SHAPE_CYCLE[index % 3]}",
+                shape=make_shape(
+                    _TENANT_SHAPE_CYCLE[index % 3],
+                    ShapeParams(
+                        total_sectors=sectors,
+                        rate=args.rate,
+                        seed=args.seed + index,
+                    ),
+                    theta=args.theta,
+                    period=args.period,
+                ),
+                weight=1.0 + 0.5 * index,
+            )
+            for index in range(args.tenants)
+        ]
+        workload = MultiTenantWorkload(
+            tenant_specs, sectors, policy=args.tenant_policy, seed=args.seed
+        )
+        telemetry = _make_telemetry(
+            args, f"{tenant_spec.label()}-tenants{args.tenants}"
+        )
+        attribution = run_multi_tenant_replay(
+            tenant_spec,
+            workload,
+            max_requests=args.tenant_requests,
+            telemetry=telemetry,
+        )
+        tenants = attribution.tenants
+        tenant_replay = attribution.replay
+        tenant_rows: list[list[object]] = [
+            [t.name, t.requests, t.pages_written, t.erases,
+             f"{t.busy_time:.3f}"]
+            for t in tenants
+        ]
+        tenant_rows.append([
+            "device", tenant_replay.requests, tenant_replay.pages_written,
+            tenant_replay.total_erases,
+            f"{tenant_replay.device_busy_time:.3f}",
+        ])
+        print()
+        print(format_table(
+            ["Tenant", "Requests", "Pages written", "Erases", "Busy (s)"],
+            tenant_rows,
+            title=f"Per-tenant attribution ({tenant_replay.label}, "
+                  f"policy {args.tenant_policy})",
+        ))
+        errors = attribution.conservation_errors()
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"  conservation violation: {error}", file=sys.stderr)
+        else:
+            print("  conservation: per-tenant sums equal device totals")
+        if telemetry is not None:
+            _print_telemetry_summary(telemetry, len(tenant_replay.heatmaps))
+    elif args.telemetry or args.trace_out:
+        print("endure telemetry attaches to the multi-tenant replay; "
+              "pass --tenants N to enable it", file=sys.stderr)
+
+    if args.report:
+        save_endurance_report(
+            args.report, results, tenants=tenants, tenant_replay=tenant_replay
+        )
+        print(f"\nmarkdown report written to {args.report}")
+    return status
+
+
 def _command_faults(args: argparse.Namespace) -> int:
     if args.channels != 1:
         print("the faults campaign drives a single-channel stack; "
@@ -672,6 +870,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _command_simulate,
         "sweep": _command_sweep,
         "serve": _command_serve,
+        "endure": _command_endure,
         "faults": _command_faults,
         "trace": _command_trace,
     }

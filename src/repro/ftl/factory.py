@@ -120,6 +120,8 @@ class StorageBackend(Protocol):
 
     def total_erases(self) -> int: ...
 
+    def total_programs(self) -> int: ...
+
     @property
     def busy_time(self) -> float: ...
 
@@ -247,6 +249,15 @@ class StorageStack:
 
     def total_erases(self) -> int:
         return self.flash.total_erases()
+
+    def total_programs(self) -> int:
+        """Physical page programs — host writes plus GC/SWL live copies.
+
+        Dividing by the host-written page count gives the exact write
+        amplification factor; :mod:`repro.endurance` relies on the
+        identity ``total_programs == pages_written + live_page_copies``.
+        """
+        return self.flash.counters.programs
 
     @property
     def busy_time(self) -> float:

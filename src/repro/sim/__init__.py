@@ -22,12 +22,19 @@ from repro.sim.experiment import (
 from repro.sim.metrics import (
     SECONDS_PER_YEAR,
     EraseDistribution,
+    TenantUsage,
     first_failure_years,
     improvement_ratio,
     increased_ratio,
     unevenness_of,
 )
-from repro.sim.reporting import markdown_report, save_report
+from repro.sim.reporting import (
+    endurance_markdown_report,
+    markdown_report,
+    save_endurance_report,
+    save_report,
+    tenant_attribution_table,
+)
 from repro.sim.results import (
     fig5_rows,
     format_fig5,
@@ -45,7 +52,9 @@ __all__ = [
     "SimResult",
     "Simulator",
     "StopCondition",
+    "TenantUsage",
     "WearSample",
+    "endurance_markdown_report",
     "fig5_rows",
     "first_failure_years",
     "format_fig5",
@@ -61,8 +70,10 @@ __all__ = [
     "run_fixed_horizon",
     "run_matrix",
     "run_until_first_failure",
+    "save_endurance_report",
     "save_report",
     "table4_rows",
+    "tenant_attribution_table",
     "unevenness_of",
     "workload_params_for",
 ]

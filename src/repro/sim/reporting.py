@@ -16,8 +16,10 @@ from repro.sim.metrics import improvement_ratio
 
 if TYPE_CHECKING:
     from repro.ckpt.supervisor import CampaignReport
+    from repro.endurance.matrix import EnduranceCellResult
     from repro.fault.campaign import FaultCampaignResult
     from repro.service.results import ServiceResult
+    from repro.sim.metrics import TenantUsage
 
 
 def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -402,3 +404,112 @@ def fault_campaign_report(
         sections += [f"- {violation}" for violation in campaign.violations]
     sections.append("")
     return "\n".join(sections)
+
+
+def tenant_attribution_table(
+    tenants: "Sequence[TenantUsage]", replay: SimResult
+) -> str:
+    """Per-tenant usage rows plus the device-total row they must sum to.
+
+    The final row restates the device's own counters; the conservation
+    invariant (DESIGN.md §5h) says each column above it sums exactly to
+    that row.
+    """
+    rows: list[list[object]] = [
+        [
+            tenant.name,
+            tenant.requests,
+            tenant.pages_written,
+            tenant.pages_read,
+            tenant.erases,
+            f"{tenant.busy_time:.3f}",
+        ]
+        for tenant in tenants
+    ]
+    rows.append(
+        [
+            "**device**",
+            replay.requests,
+            replay.pages_written,
+            replay.pages_read,
+            replay.total_erases,
+            f"{replay.device_busy_time:.3f}",
+        ]
+    )
+    return _markdown_table(
+        ["Tenant", "Requests", "Pages written", "Pages read",
+         "Erases", "Busy time (s)"],
+        rows,
+    )
+
+
+def endurance_markdown_report(
+    results: "Sequence[EnduranceCellResult]",
+    *,
+    title: str = "Endurance projection report",
+    tenants: "Sequence[TenantUsage] | None" = None,
+    tenant_replay: SimResult | None = None,
+) -> str:
+    """Render endurance-matrix cells as a markdown document.
+
+    One row per ``workload × policy`` cell: measured WAF and wear skew,
+    projected TBW, the days the device lasts at a sustained 1 DWPD, and
+    the extrapolated first-failure horizon.  ``tenants`` (with the
+    ``tenant_replay`` that produced them) appends a per-tenant wear
+    attribution section.
+    """
+    if not results:
+        raise ValueError("no results to report")
+    gb = 1e9
+    rows: list[list[object]] = [
+        [
+            projection.label,
+            f"{projection.waf:.3f}",
+            f"{projection.erase_average:.1f}",
+            projection.erase_maximum,
+            f"{projection.wear_skew:.2f}",
+            f"{projection.tbw_bytes / gb:.2f}",
+            f"{projection.days_at_one_dwpd:.1f}",
+            f"{projection.projected_first_failure_days:.1f}",
+        ]
+        for projection in (result.projection for result in results)
+    ]
+    sections = [
+        f"# {title}",
+        "",
+        "Projections extrapolate each cell's measured erase rates to the "
+        "geometry's P/E-cycle budget (WAF-aware chokepoint: "
+        "`repro.endurance.projection.first_failure_horizon`).  TBW is "
+        "host bytes writable before the hottest block exhausts its "
+        "budget at the measured skew.",
+        "",
+        _markdown_table(
+            ["Cell", "WAF", "Erase avg", "Erase max", "Wear skew",
+             "TBW (GB)", "Days @ 1 DWPD", "First failure (days)"],
+            rows,
+        ),
+    ]
+    if tenants is not None:
+        if tenant_replay is None:
+            raise ValueError("tenants need the replay that produced them")
+        sections += [
+            "",
+            "## Per-tenant wear attribution",
+            "",
+            "Each column sums exactly to the device row (conservation "
+            "invariant).",
+            "",
+            tenant_attribution_table(tenants, tenant_replay),
+        ]
+    sections.append("")
+    return "\n".join(sections)
+
+
+def save_endurance_report(
+    path: str,
+    results: "Sequence[EnduranceCellResult]",
+    **kwargs: object,
+) -> None:
+    """Write :func:`endurance_markdown_report` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(endurance_markdown_report(results, **kwargs))  # type: ignore[arg-type]

@@ -1,0 +1,151 @@
+"""Direct unit tests for :mod:`repro.analysis.endurance`.
+
+Previously only exercised indirectly through examples; these pin the
+histogram edge bins, known Gini values, degenerate inputs, and the
+WAF-aware lifetime extrapolation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.endurance import (
+    erase_histogram,
+    ideal_leveling_gain,
+    pinned_fraction,
+    project_lifetime,
+    wear_gini,
+)
+
+
+class TestEraseHistogram:
+    def test_counts_land_in_expected_bins(self):
+        # top=15, 4 bins -> width max(1, 19//4)=4: [0,4) [4,8) [8,12) [12,16)
+        bins = erase_histogram([0, 3, 4, 7, 8, 15], num_bins=4)
+        assert [count for _, count in bins] == [2, 2, 1, 1]
+        assert bins[0][0] == "[0, 4)"
+        assert bins[-1][0] == "[12, 16)"
+
+    def test_maximum_lands_in_last_bin(self):
+        bins = erase_histogram([100], num_bins=8)
+        assert bins[-1][1] == 1
+        assert sum(count for _, count in bins) == 1
+
+    def test_overflow_clamps_to_last_bin(self):
+        # width stays >= 1: every zero-heavy distribution still bins.
+        bins = erase_histogram([0, 0, 0, 1], num_bins=16)
+        assert bins[0][1] == 3
+        assert bins[1][1] == 1
+
+    def test_all_zero_counts(self):
+        bins = erase_histogram([0, 0, 0], num_bins=4)
+        assert bins[0] == ("[0, 1)", 3)
+        assert all(count == 0 for _, count in bins[1:])
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError, match="no erase counts"):
+            erase_histogram([])
+        with pytest.raises(ValueError, match="num_bins"):
+            erase_histogram([1, 2], num_bins=0)
+
+
+class TestWearGini:
+    def test_perfectly_even_is_zero(self):
+        assert wear_gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_single_block_absorbs_everything(self):
+        # One of n blocks takes all wear: G = (n-1)/n.
+        assert wear_gini([0, 0, 0, 12]) == pytest.approx(0.75)
+
+    def test_known_two_value_case(self):
+        # Lorenz curve of [1, 3]: G = 1/4.
+        assert wear_gini([1, 3]) == pytest.approx(0.25)
+
+    def test_order_invariant(self):
+        assert wear_gini([3, 1, 2]) == pytest.approx(wear_gini([1, 2, 3]))
+
+    def test_unworn_chip_is_even(self):
+        assert wear_gini([0, 0, 0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            wear_gini([])
+
+
+class TestPinnedFraction:
+    def test_cold_blocks_counted(self):
+        # Threshold 5% of max 100 = 5.0: the two blocks at <= 5 pin.
+        assert pinned_fraction([0, 5, 50, 100]) == pytest.approx(0.5)
+
+    def test_unworn_chip_pins_nothing(self):
+        assert pinned_fraction([0, 0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pinned_fraction([])
+        with pytest.raises(ValueError):
+            pinned_fraction([1], threshold=1.0)
+
+
+class TestIdealLevelingGain:
+    def test_known_values(self):
+        assert ideal_leveling_gain(0.0) == 0.0
+        assert ideal_leveling_gain(0.25) == pytest.approx(1 / 3)
+        assert ideal_leveling_gain(0.5) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_leveling_gain(1.0)
+
+
+class TestProjectLifetime:
+    def test_waf_blind_default_preserved(self):
+        projection = project_lifetime(
+            [10, 50], observed_time=1000.0, endurance=100
+        )
+        assert projection.projected_first_failure == pytest.approx(2000.0)
+        assert projection.max_erase_count == 50
+        assert projection.observed_waf is None
+
+    def test_waf_ratio_halves_horizon(self):
+        """Regression for the WAF-blind extrapolation: a projected WAF
+        twice the observed one must halve the projected lifetime."""
+        blind = project_lifetime([10, 50], 1000.0, 100)
+        aware = project_lifetime(
+            [10, 50], 1000.0, 100, observed_waf=1.5, projected_waf=3.0
+        )
+        assert aware.projected_first_failure == pytest.approx(
+            blind.projected_first_failure / 2
+        )
+        assert aware.observed_waf == 1.5
+        assert aware.projected_waf == 3.0
+
+    def test_identical_wafs_change_nothing(self):
+        same = project_lifetime(
+            [10, 50], 1000.0, 100, observed_waf=2.0, projected_waf=2.0
+        )
+        assert same.projected_first_failure == pytest.approx(2000.0)
+
+    def test_unworn_chip_projects_to_infinity(self):
+        assert project_lifetime([0, 0], 10.0, 100).projected_first_failure \
+            == math.inf
+
+    def test_projected_years(self):
+        projection = project_lifetime([1], 365.0 * 86_400.0, 2)
+        assert projection.projected_years == pytest.approx(2.0)
+
+    def test_waf_arguments_come_in_pairs(self):
+        with pytest.raises(ValueError, match="together"):
+            project_lifetime([1], 10.0, 100, observed_waf=2.0)
+        with pytest.raises(ValueError, match=">= 1.0"):
+            project_lifetime(
+                [1], 10.0, 100, observed_waf=0.5, projected_waf=2.0
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_lifetime([1], 0.0, 100)
+        with pytest.raises(ValueError):
+            project_lifetime([1], 10.0, 0)

@@ -29,6 +29,8 @@ class TestTopLevelExports:
             "repro.util",
             "repro.cli",
             "repro.obs",
+            "repro.workloads",
+            "repro.endurance",
         ],
     )
     def test_subpackage_all_resolves(self, module):

@@ -1,0 +1,217 @@
+"""Multi-tenant multiplexer and attribution-runner tests.
+
+The load-bearing property is *conservation*: every request belongs to
+exactly one tenant, so per-tenant counters must sum exactly (integer
+``==``) to the device totals, through both the closed-loop replay and
+the open-loop service engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SWLConfig
+from repro.sim.experiment import (
+    ExperimentSpec,
+    logical_sectors_of,
+    scaled_mlc2_geometry,
+)
+from repro.sim.metrics import TenantUsage
+from repro.workloads import (
+    MultiTenantWorkload,
+    ShapeParams,
+    TenantSpec,
+    make_shape,
+    run_multi_tenant_replay,
+    run_multi_tenant_service,
+)
+
+SECTORS = 6000
+
+
+def make_tenants(count=3, sectors=SECTORS, shapes=("hotspot", "phase", "mixed")):
+    return [
+        TenantSpec(
+            name=f"t{index}",
+            shape=make_shape(
+                shapes[index % len(shapes)],
+                ShapeParams(total_sectors=sectors, rate=10.0, seed=index),
+                period=300.0,
+            ),
+            weight=1.0 + index,
+        )
+        for index in range(count)
+    ]
+
+
+def drain(workload, count):
+    stream = workload.iter_tagged()
+    return [next(stream) for _ in range(count)]
+
+
+class TestRegions:
+    def test_default_partition_is_disjoint_and_covers(self):
+        workload = MultiTenantWorkload(make_tenants(3), SECTORS)
+        regions = workload.regions
+        assert regions[0][0] == 0
+        assert regions[-1][1] == SECTORS
+        for (_, end), (start, _) in zip(regions, regions[1:]):
+            assert end == start
+
+    def test_requests_stay_inside_their_region(self):
+        workload = MultiTenantWorkload(make_tenants(3), SECTORS)
+        for index, request in drain(workload, 2000):
+            start, end = workload.regions[index]
+            assert start <= request.lba < end
+            assert request.end_lba <= end
+
+    def test_explicit_regions_may_overlap(self):
+        tenants = [
+            TenantSpec("a", make_shape("uniform",
+                       ShapeParams(total_sectors=SECTORS, seed=0)),
+                       region=(0, 4000)),
+            TenantSpec("b", make_shape("uniform",
+                       ShapeParams(total_sectors=SECTORS, seed=1)),
+                       region=(2000, 6000)),
+        ]
+        workload = MultiTenantWorkload(tenants, SECTORS)
+        assert workload.regions == [(0, 4000), (2000, 6000)]
+
+    def test_all_or_none_region_rule(self):
+        tenants = make_tenants(2)
+        mixed = [tenants[0],
+                 TenantSpec("x", tenants[1].shape, region=(0, 100))]
+        with pytest.raises(ValueError, match="every tenant"):
+            MultiTenantWorkload(mixed, SECTORS)
+
+    def test_region_bounds_checked(self):
+        tenants = [
+            TenantSpec("a", make_shape("uniform",
+                       ShapeParams(total_sectors=SECTORS, seed=0)),
+                       region=(0, SECTORS + 1)),
+        ]
+        with pytest.raises(ValueError, match="exceeds"):
+            MultiTenantWorkload(tenants, SECTORS)
+
+    def test_unique_names_required(self):
+        shape = make_shape("uniform", ShapeParams(total_sectors=SECTORS))
+        with pytest.raises(ValueError, match="unique"):
+            MultiTenantWorkload(
+                [TenantSpec("dup", shape), TenantSpec("dup", shape)], SECTORS
+            )
+
+
+class TestInterleaving:
+    @pytest.mark.parametrize("policy", ["merge", "round-robin"])
+    def test_deterministic_and_reiterable(self, policy):
+        workload = MultiTenantWorkload(
+            make_tenants(3), SECTORS, policy=policy, seed=5
+        )
+        assert drain(workload, 1000) == drain(workload, 1000)
+
+    @pytest.mark.parametrize("policy", ["merge", "round-robin"])
+    def test_arrivals_monotone_and_all_tenants_served(self, policy):
+        workload = MultiTenantWorkload(
+            make_tenants(3), SECTORS, policy=policy, seed=5
+        )
+        previous = 0.0
+        seen = set()
+        for index, request in drain(workload, 2000):
+            assert request.time >= previous
+            previous = request.time
+            seen.add(index)
+        assert seen == {0, 1, 2}
+
+    def test_merge_weights_scale_request_share(self):
+        # Weights 1:3 under merge time-compress the heavier tenant's
+        # stream — it should land roughly 3x the requests.
+        tenants = [
+            TenantSpec("light", make_shape("uniform",
+                       ShapeParams(total_sectors=SECTORS, seed=0)), weight=1.0),
+            TenantSpec("heavy", make_shape("uniform",
+                       ShapeParams(total_sectors=SECTORS, seed=1)), weight=3.0),
+        ]
+        workload = MultiTenantWorkload(tenants, SECTORS)
+        counts = [0, 0]
+        for index, _ in drain(workload, 4000):
+            counts[index] += 1
+        assert 2.0 < counts[1] / counts[0] < 4.5
+
+    def test_round_robin_weights_are_exact(self):
+        # Smooth WRR serves tenants in exact weight proportion.
+        tenants = make_tenants(3)  # weights 1, 2, 3
+        workload = MultiTenantWorkload(
+            tenants, SECTORS, policy="round-robin", seed=2
+        )
+        counts = [0, 0, 0]
+        for index, _ in drain(workload, 600):
+            counts[index] += 1
+        assert counts == [100, 200, 300]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            MultiTenantWorkload(make_tenants(2), SECTORS, policy="fifo")
+
+
+class TestAttributionConservation:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return ExperimentSpec(
+            "ftl", scaled_mlc2_geometry(24, scale=100),
+            SWLConfig(threshold=50.0), seed=7, channels=2,
+        )
+
+    @pytest.mark.parametrize("policy", ["merge", "round-robin"])
+    def test_replay_conserves_exactly(self, spec, policy):
+        sectors = logical_sectors_of(spec)
+        workload = MultiTenantWorkload(
+            make_tenants(3, sectors=sectors), sectors, policy=policy, seed=7
+        )
+        result = run_multi_tenant_replay(spec, workload, max_requests=6000)
+        assert result.conservation_errors() == []
+        total = TenantUsage.totals(result.tenants)
+        assert total.erases == result.replay.total_erases
+        assert total.pages_written == result.replay.pages_written
+        assert total.pages_read == result.replay.pages_read
+        assert total.requests == result.replay.requests
+        # GC/SWL fired: attribution covered amplified work, not just
+        # host writes.
+        assert result.replay.total_erases > 0
+
+    def test_service_conserves_and_attributes_latency(self, spec):
+        sectors = logical_sectors_of(spec)
+        workload = MultiTenantWorkload(
+            make_tenants(3, sectors=sectors), sectors, seed=7
+        )
+        result = run_multi_tenant_service(
+            spec, workload, max_requests=6000, queue_depth=8
+        )
+        assert result.conservation_errors() == []
+        assert sum(s.count for s in result.tenant_latencies) == 6000
+        for usage, summary in zip(result.tenants, result.tenant_latencies):
+            assert summary.count == usage.requests
+            assert 0.0 <= summary.p50 <= summary.p99 <= summary.maximum
+
+    def test_replay_and_service_see_identical_wear(self, spec):
+        """Determinism contract: the service engine mutates the backend
+        through the same apply path, so wear equals the replay's."""
+        sectors = logical_sectors_of(spec)
+        workload = MultiTenantWorkload(
+            make_tenants(2, sectors=sectors), sectors, seed=3
+        )
+        replay = run_multi_tenant_replay(spec, workload, max_requests=3000)
+        service = run_multi_tenant_service(spec, workload, max_requests=3000)
+        assert (replay.replay.total_erases
+                == service.service.replay.total_erases)
+        assert (replay.replay.pages_written
+                == service.service.replay.pages_written)
+        assert [t.erases for t in replay.tenants] == \
+               [t.erases for t in service.tenants]
+
+    def test_runner_requires_a_bound(self, spec):
+        sectors = logical_sectors_of(spec)
+        workload = MultiTenantWorkload(
+            make_tenants(2, sectors=sectors), sectors
+        )
+        with pytest.raises(ValueError, match="needs max_requests"):
+            run_multi_tenant_replay(spec, workload)
