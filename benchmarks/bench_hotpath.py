@@ -199,11 +199,11 @@ def bench_replay() -> dict[str, object]:
 # ----------------------------------------------------------------------
 # Golden replay
 # ----------------------------------------------------------------------
-def _golden_replay(driver: str):
+def _golden_replay(driver: str, swl=None):
     geometry = scaled_mlc2_geometry(GOLDEN_BLOCKS, scale=GOLDEN_SCALE)
-    spec = ExperimentSpec(
-        driver, geometry, SWLConfig(threshold=100, k=0), seed=GOLDEN_SEED
-    )
+    if swl is None:
+        swl = SWLConfig(threshold=100, k=0)
+    spec = ExperimentSpec(driver, geometry, swl, seed=GOLDEN_SEED)
     params = workload_params_for(
         spec, duration=GOLDEN_HORIZON, seed=GOLDEN_SEED + 1
     )
@@ -228,11 +228,16 @@ def _golden_replay(driver: str):
     return result, time.perf_counter() - start
 
 
-def golden_digest() -> dict[str, object]:
-    """Replay both drivers and hash everything the engine reports."""
+def golden_digest(swl=None) -> dict[str, object]:
+    """Replay both drivers and hash everything the engine reports.
+
+    ``swl`` substitutes the leveler configuration (default: the classic
+    ``SWLConfig``); the scale gate passes ``LevelerSpec(kind="swl")`` to
+    prove the registry path replays the very same digest.
+    """
     payload: dict[str, object] = {}
     for driver in ("ftl", "nftl"):
-        result, _ = _golden_replay(driver)
+        result, _ = _golden_replay(driver, swl=swl)
         payload[driver] = {
             "as_dict": result.as_dict(),
             "timeline": [

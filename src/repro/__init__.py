@@ -44,9 +44,13 @@ from repro.array import (
 from repro.core import (
     BetStore,
     BlockErasingTable,
+    CacheAvoidLeveler,
     DualPoolLeveler,
+    LevelerSpec,
     SWLConfig,
     SWLeveler,
+    SoftWearLeveler,
+    leveler_kinds,
     paper_sweep,
 )
 from repro.endurance import (
@@ -122,6 +126,7 @@ __all__ = [
     "BetStore",
     "BlockDevice",
     "BlockErasingTable",
+    "CacheAvoidLeveler",
     "CrashConsistencyHarness",
     "DeviceArray",
     "DualPoolLeveler",
@@ -133,6 +138,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FlashGeometry",
+    "LevelerSpec",
     "MLC2_1GB",
     "MLC2_BENCH",
     "MLC2_TINY",
@@ -152,6 +158,7 @@ __all__ = [
     "SegmentResampler",
     "ShapeParams",
     "SimResult",
+    "SoftWearLeveler",
     "Simulator",
     "StopCondition",
     "StorageBackend",
@@ -168,6 +175,7 @@ __all__ = [
     "build_backend",
     "build_stack",
     "endurance_cells",
+    "leveler_kinds",
     "make_base_trace",
     "make_shape",
     "make_striping",

@@ -27,11 +27,13 @@ available for reporting.
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import TYPE_CHECKING, Sequence
 
 from repro.array.coordinator import WearCoordinator
 from repro.array.striping import StripingPolicy, make_striping
 from repro.core.config import SWLConfig
+from repro.core.policies import LevelerSpec
 from repro.core.leveler import RequestClock
 from repro.flash.chip import FirstFailure
 from repro.flash.errors import PowerLossError
@@ -100,6 +102,22 @@ class DeviceArray:
         self._buffers: list[list[int]] = [[] for _ in self.shards]
         self._flashes = [shard.flash for shard in self.shards]
         self._layers = [shard.layer for shard in self.shards]
+        # Per-shard single-page operations.  With no write interception
+        # these are the layers' own bound methods (the historical fast
+        # path, byte-identical dispatch); a shard whose leveler
+        # intercepts host I/O gets the interceptor bound in front, so
+        # every route to the shard — fused closure, single-page fast
+        # path, batched fallback — goes through the same front-end.
+        self._writers = []
+        self._readers = []
+        for shard in self.shards:
+            intercept = shard._intercept
+            if intercept is None:
+                self._writers.append(shard.layer.write)
+                self._readers.append(shard.layer.read)
+            else:
+                self._writers.append(partial(intercept.host_write, shard.layer))
+                self._readers.append(partial(intercept.host_read, shard.layer))
         # Fused dispatchers (repro.array.striping): the striping policy
         # compiles its routing arithmetic around the shard page
         # operations once, so replaying a request is a single closure
@@ -108,14 +126,14 @@ class DeviceArray:
         # policies and for batch shapes the closures delegate back
         # (multi-page non-range sequences, e.g. lba-modulo wraps).
         write_dispatch = striping.compile_pages_dispatch(
-            [layer.write for layer in self._layers],
+            self._writers,
             _count_power_loss_pages,
             self.write_pages,
         )
         if write_dispatch is not None:
             self.write_pages = write_dispatch  # type: ignore[method-assign]
         read_dispatch = striping.compile_pages_dispatch(
-            [layer.read for layer in self._layers],
+            self._readers,
             _count_power_loss_pages,
             self.read_pages,
         )
@@ -178,7 +196,12 @@ class DeviceArray:
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:
-        scope = self.coordinator.scope if self.coordinator else "no-swl"
+        if self.coordinator is not None:
+            scope = self.coordinator.scope
+        elif self._levelers:
+            scope = "independent"  # challengers level per shard, unarbitrated
+        else:
+            scope = "no-swl"
         return (
             f"{self.shards[0].name}x{len(self.shards)}"
             f"[{self.striping.name},{scope}]"
@@ -222,7 +245,7 @@ class DeviceArray:
         if len(lpns) == 1:
             shard, local = self.striping.route(lpns[0])
             try:
-                self._layers[shard].write(local)
+                self._writers[shard](local)
             except PowerLossError as exc:
                 _count_power_loss_pages(exc, 0)
                 raise
@@ -248,7 +271,7 @@ class DeviceArray:
         if len(lpns) == 1:
             shard, local = self.striping.route(lpns[0])
             try:
-                self._layers[shard].read(local)
+                self._readers[shard](local)
             except PowerLossError as exc:
                 _count_power_loss_pages(exc, 0)
                 raise
@@ -456,7 +479,7 @@ class DeviceArray:
 def build_array(
     geometry: "FlashGeometry",
     driver: str = "ftl",
-    swl: SWLConfig | None = None,
+    swl: SWLConfig | LevelerSpec | None = None,
     *,
     channels: int,
     striping: str = "page",
@@ -511,10 +534,23 @@ def build_array(
         )
     coordinator = None
     if swl is not None and swl.enabled:
-        coordinator = WearCoordinator(swl.threshold, scope=swl_scope)
-        for shard in shards:
-            assert shard.leveler is not None
-            coordinator.attach(shard.leveler)
+        levelers = [shard.leveler for shard in shards]
+        assert all(leveler is not None for leveler in levelers)
+        if all(
+            getattr(leveler, "supports_coordination", False)
+            for leveler in levelers
+        ):
+            coordinator = WearCoordinator(swl.threshold, scope=swl_scope)
+            for leveler in levelers:
+                coordinator.attach(leveler)
+        elif swl_scope == "global":
+            # The coordinator arbitrates by reading shard BETs; a
+            # challenger without one cannot honor a global threshold.
+            raise ValueError(
+                f"swl_scope='global' requires a coordinating (BET-based) "
+                f"leveler; {levelers[0].label!r} levels each shard "
+                f"independently"
+            )
     policy = make_striping(
         striping, channels, shards[0].layer.num_logical_pages
     )

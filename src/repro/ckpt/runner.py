@@ -106,6 +106,43 @@ class CheckpointPolicy:
 # ----------------------------------------------------------------------
 # Configuration fingerprints
 # ----------------------------------------------------------------------
+def _swl_state(swl: object) -> dict[str, object]:
+    """JSON-friendly identity of a wear-leveling config.
+
+    The :class:`~repro.core.config.SWLConfig` form is frozen exactly as
+    historical checkpoints wrote it, so pre-arena images keep matching;
+    a :class:`~repro.core.policies.LevelerSpec` adds a ``kind`` tag plus
+    its per-kind knobs — a different shape, so a checkpoint taken under
+    one config class can never silently resume under the other.
+    """
+    from repro.core.policies import LevelerSpec
+
+    if isinstance(swl, LevelerSpec):
+        return {
+            "kind": swl.kind,
+            "enabled": swl.enabled,
+            "threshold": swl.threshold,
+            "k": swl.k,
+            "selection": swl.selection,
+            "trigger": swl.trigger,
+            "trigger_param": swl.trigger_param,
+            "delta": swl.delta,
+            "check_period": swl.check_period,
+            "batch": swl.batch,
+            "cache_pages": swl.cache_pages,
+            "period_requests": swl.period_requests,
+            "span_blocks": swl.span_blocks,
+        }
+    return {
+        "enabled": swl.enabled,  # type: ignore[attr-defined]
+        "threshold": swl.threshold,  # type: ignore[attr-defined]
+        "k": swl.k,  # type: ignore[attr-defined]
+        "selection": swl.selection,  # type: ignore[attr-defined]
+        "trigger": swl.trigger,  # type: ignore[attr-defined]
+        "trigger_param": swl.trigger_param,  # type: ignore[attr-defined]
+    }
+
+
 def spec_state(spec: ExperimentSpec) -> dict[str, object]:
     """JSON-friendly identity of a spec; pins a checkpoint to its config."""
     geometry = spec.geometry
@@ -119,14 +156,7 @@ def spec_state(spec: ExperimentSpec) -> dict[str, object]:
             "endurance": geometry.endurance,
             "cell_type": geometry.cell_type.name,
         },
-        "swl": None if spec.swl is None else {
-            "enabled": spec.swl.enabled,
-            "threshold": spec.swl.threshold,
-            "k": spec.swl.k,
-            "selection": spec.swl.selection,
-            "trigger": spec.swl.trigger,
-            "trigger_param": spec.swl.trigger_param,
-        },
+        "swl": None if spec.swl is None else _swl_state(spec.swl),
         "op_ratio": spec.op_ratio,
         "alloc_policy": spec.alloc_policy,
         "seed": spec.seed,

@@ -21,6 +21,11 @@ These commands cover the library's main workflows without writing code:
     multi-channel — optionally with a multi-tenant replay whose
     per-tenant wear attribution rows must sum exactly to the device
     totals.
+``arena``
+    Policy tournament: race the paper's SW Leveler against the
+    challenger mechanisms (dual-pool, cache-based avoidance, SoftWear
+    scrubbing) through the shared workload and fault matrices and print
+    the leaderboard — endurance, extra erases, WAF, controller RAM, p99.
 ``faults``
     Run a fault-injection campaign (transient-fault soak plus a swept
     power-loss crash-consistency check) and report the verdict; exits
@@ -43,6 +48,12 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
+from repro.arena.report import arena_console_table, arena_report
+from repro.arena.tournament import (
+    DEFAULT_ROSTER,
+    DEFAULT_WORKLOADS,
+    run_arena,
+)
 from repro.core.config import SWLConfig
 from repro.endurance import endurance_cells, run_endurance_matrix
 from repro.fault.campaign import run_fault_campaign
@@ -284,6 +295,46 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also write a markdown projection report to PATH")
     _add_stack_arguments(endure)
     _add_telemetry_arguments(endure)
+
+    arena = commands.add_parser(
+        "arena",
+        help="policy tournament: paper SWL vs challenger wear levelers",
+    )
+    arena.add_argument("--levelers", nargs="+",
+                       choices=list(DEFAULT_ROSTER),
+                       default=list(DEFAULT_ROSTER),
+                       help="roster entries to race "
+                            f"(default: {' '.join(DEFAULT_ROSTER)})")
+    arena.add_argument("--workloads", nargs="+", choices=SHAPE_NAMES,
+                       default=list(DEFAULT_WORKLOADS),
+                       help="workload shapes of the matrix "
+                            f"(default: {' '.join(DEFAULT_WORKLOADS)})")
+    arena.add_argument("--horizon-days", type=float, default=0.25,
+                       help="replay horizon per cell in simulated days "
+                            "(default: 0.25)")
+    arena.add_argument("--rate", type=float, default=4.0,
+                       help="workload request rate in req/s (default: 4)")
+    arena.add_argument("--service-requests", type=int, default=2000,
+                       help="requests in the p99 service soak "
+                            "(default: 2000)")
+    arena.add_argument("--no-faults", action="store_true",
+                       help="skip the per-leveler fault campaign")
+    arena.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the workload matrix "
+                            "(default: serial)")
+    arena.add_argument("--driver", choices=("ftl", "nftl"), default="ftl",
+                       help="translation layer (default: ftl)")
+    arena.add_argument("--blocks", type=int, default=64,
+                       help="simulated chip size in blocks (default: 64)")
+    arena.add_argument("--scale", type=int, default=5,
+                       help="endurance scale: cycles = 10000/scale "
+                            "(default: 5)")
+    arena.add_argument("--seed", type=int, default=0, help="master seed")
+    arena.add_argument("--report", metavar="PATH",
+                       help="also write the markdown leaderboard to PATH")
+    arena.add_argument("--json", metavar="PATH",
+                       help="also write the full arena result as JSON to "
+                            "PATH")
 
     faults = commands.add_parser(
         "faults", help="run a fault-injection and crash-consistency campaign"
@@ -803,6 +854,35 @@ def _command_endure(args: argparse.Namespace) -> int:
     return status
 
 
+def _command_arena(args: argparse.Namespace) -> int:
+    geometry = scaled_mlc2_geometry(args.blocks, scale=args.scale)
+    result = run_arena(
+        geometry,
+        args.driver,
+        workloads=args.workloads,
+        levelers=args.levelers,
+        horizon=args.horizon_days * DAY,
+        rate=args.rate,
+        seed=args.seed,
+        workers=args.workers,
+        service_requests=args.service_requests,
+        run_faults=not args.no_faults,
+    )
+    print(arena_console_table(result))
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(arena_report(result))
+        print(f"\nmarkdown leaderboard written to {args.report}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"arena JSON written to {args.json}")
+    return 0 if all(entry.faults_ok for entry in result.leaderboard) else 1
+
+
 def _command_faults(args: argparse.Namespace) -> int:
     if args.channels != 1:
         print("the faults campaign drives a single-channel stack; "
@@ -870,6 +950,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _command_simulate,
         "sweep": _command_sweep,
         "serve": _command_serve,
+        "arena": _command_arena,
         "endure": _command_endure,
         "faults": _command_faults,
         "trace": _command_trace,

@@ -4,12 +4,22 @@
   dual-buffer persistent store.
 * :mod:`repro.core.leveler` — the SW Leveler running SWL-Procedure and
   SWL-BETUpdate (Section 3.3, Algorithms 1-2).
-* :mod:`repro.core.policies` — block-set selection and trigger policies.
+* :mod:`repro.core.policies` — block-set selection and trigger policies,
+  plus the :class:`LevelerSpec` mechanism registry behind the arena.
+* :mod:`repro.core.alternatives` — challenger mechanisms (dual-pool,
+  cache-based avoidance, software-only scrubbing).
 * :mod:`repro.core.config` — declarative configuration and the paper's
   (k, T) sweep.
 """
 
-from repro.core.alternatives import DualPoolLeveler, DualPoolStats
+from repro.core.alternatives import (
+    CacheAvoidLeveler,
+    CacheAvoidStats,
+    DualPoolLeveler,
+    DualPoolStats,
+    SoftWearLeveler,
+    SoftWearStats,
+)
 from repro.core.bet import BetStore, BlockErasingTable
 from repro.core.config import (
     DISABLED,
@@ -18,25 +28,36 @@ from repro.core.config import (
     SWLConfig,
     paper_sweep,
 )
-from repro.core.leveler import SWLeveler, SWLStats, WearLevelingHost
+from repro.core.leveler import (
+    SWLeveler,
+    SWLStats,
+    WearLeveler,
+    WearLevelingHost,
+)
 from repro.core.policies import (
     EveryNRequestsTrigger,
+    LevelerSpec,
     OnEraseTrigger,
     PeriodicTrigger,
     RandomSelection,
     SelectionPolicy,
     SequentialSelection,
     TriggerPolicy,
+    leveler_kinds,
     make_selection_policy,
+    make_trigger_policy,
 )
 
 __all__ = [
     "BetStore",
     "BlockErasingTable",
+    "CacheAvoidLeveler",
+    "CacheAvoidStats",
     "DISABLED",
     "DualPoolLeveler",
     "DualPoolStats",
     "EveryNRequestsTrigger",
+    "LevelerSpec",
     "OnEraseTrigger",
     "PAPER_K_VALUES",
     "PAPER_THRESHOLDS",
@@ -47,8 +68,13 @@ __all__ = [
     "SWLeveler",
     "SelectionPolicy",
     "SequentialSelection",
+    "SoftWearLeveler",
+    "SoftWearStats",
     "TriggerPolicy",
+    "WearLeveler",
     "WearLevelingHost",
+    "leveler_kinds",
     "make_selection_policy",
+    "make_trigger_policy",
     "paper_sweep",
 ]

@@ -1,4 +1,4 @@
-"""Alternative static wear-leveling mechanisms, for comparison.
+"""Alternative wear-leveling mechanisms, for comparison.
 
 The paper positions its BET-based SW Leveler against prior art it cites
 but does not evaluate: A. Ban's patent "Wear leveling of static areas in
@@ -8,22 +8,52 @@ controller RAM and trigger a cold-block move when the wear spread exceeds
 a threshold — precise, but with a RAM cost the paper's one-bit-per-set
 BET undercuts by 16-32x.
 
-:class:`DualPoolLeveler` implements that classic counter-based design so
-the trade-off can be measured (``bench_ablation_mechanism``): equal or
-better leveling quality, at ``num_blocks * 4`` bytes of RAM versus the
-BET's ``num_blocks / 8 / 2^k``.
+Three challengers live here, all drop-ins for
+:class:`~repro.core.leveler.SWLeveler` at the driver boundary — same
+``on_block_erased`` / ``on_request`` / ``suspend`` / ``resume`` /
+``on_block_retired`` / ``snapshot_state`` / ``restore_state`` surface,
+same :class:`~repro.core.leveler.WearLevelingHost` usage — so
+:class:`~repro.core.policies.LevelerSpec` can build any of them into any
+harness:
 
-The class is a drop-in for :class:`~repro.core.leveler.SWLeveler` at the
-driver boundary: same ``on_block_erased`` / ``on_request`` /
-``suspend`` / ``resume`` surface, same
-:class:`~repro.core.leveler.WearLevelingHost` usage.
+* :class:`DualPoolLeveler` — the classic counter-based design (equal or
+  better leveling quality, at ``num_blocks * 4`` bytes of RAM versus the
+  BET's ``num_blocks / 8 / 2^k``);
+* :class:`CacheAvoidLeveler` — Boukhobza-style wear *avoidance*: an LRU
+  write-back cache in controller RAM absorbs rewrites before they reach
+  flash, trading RAM (and crash durability of the dirty cached pages)
+  for fewer programs rather than evener erases;
+* :class:`SoftWearLeveler` — SoftWear-style software-only leveling: no
+  erase counters at all; a cyclic scrubber force-recycles the next block
+  span every N host requests, rotating cold data by brute schedule at
+  O(1) RAM.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.leveler import WearLevelingHost
+from repro.core.leveler import RequestClock, WearLevelingHost
+
+
+def host_erase_counts(host: WearLevelingHost, num_blocks: int) -> list[int]:
+    """The live per-block erase-count list behind a translation layer.
+
+    Counter-based mechanisms share the chip's own array (4 bytes/block of
+    controller RAM in a real device).  The checkpoint machinery restores
+    chip counts in place, so the reference stays valid across restores.
+    """
+    counts = getattr(getattr(host, "mtd", None), "erase_counts", None)
+    if counts is None:
+        raise TypeError(
+            "host exposes no mtd.erase_counts; pass the erase-count list "
+            "to DualPoolLeveler directly"
+        )
+    if len(counts) != num_blocks:
+        raise ValueError(
+            f"host tracks {len(counts)} blocks, leveler expects {num_blocks}"
+        )
+    return counts
 
 
 @dataclass
@@ -66,6 +96,11 @@ class DualPoolLeveler:
         Cold blocks evicted per triggered check.
     """
 
+    supports_coordination = False
+    intercepts_writes = False
+    #: Erase-driven only; arrays skip the per-request tick entirely.
+    _request_driven = False
+
     def __init__(
         self,
         erase_counts: list[int],
@@ -91,10 +126,21 @@ class DualPoolLeveler:
         self._suspended = 0
         self._deferred = False
         self._in_procedure = False
+        #: Blocks permanently out of service; never selected as coldest
+        #: (their frozen counts would otherwise pin the cold end forever).
+        self._retired: set[int] = set()
+        #: Interface parity with SWLeveler; this mechanism never reads it,
+        #: but a DeviceArray installs its shared clock on every leveler.
+        self.clock = RequestClock()
 
     # ------------------------------------------------------------------
     # Driver-boundary surface (mirrors SWLeveler)
     # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Mechanism label for backend names, e.g. ``DP+d=32+p=64``."""
+        return f"DP+d={self.delta}+p={self.check_period}"
+
     @property
     def ram_bytes(self) -> int:
         """Controller RAM this mechanism needs: 4 bytes per block.
@@ -102,6 +148,10 @@ class DualPoolLeveler:
         Contrast with the BET (paper Table 1): one bit per 2^k blocks.
         """
         return 4 * len(self.erase_counts)
+
+    def on_block_retired(self, block: int) -> None:
+        """Exclude a grown-bad block from future coldest-block selection."""
+        self._retired.add(block)
 
     def on_block_erased(self, block: int) -> None:
         if self._in_procedure:
@@ -134,13 +184,27 @@ class DualPoolLeveler:
     def _maybe_level(self) -> None:
         self.stats.checks += 1
         counts = self.erase_counts
-        if max(counts) - min(counts) < self.delta:
+        excluded = set(self._retired)
+        candidates = [
+            block for block in range(len(counts)) if block not in excluded
+        ]
+        if not candidates:
+            return
+        hottest = max(counts[block] for block in candidates)
+        if hottest - min(counts[block] for block in candidates) < self.delta:
             return
         self._in_procedure = True
         try:
-            for _ in range(self.batch):
-                coldest = min(range(len(counts)), key=counts.__getitem__)
-                if max(counts) - counts[coldest] < self.delta:
+            swaps = 0
+            while swaps < self.batch:
+                pool = [
+                    block for block in candidates if block not in excluded
+                ]
+                if not pool:
+                    return
+                coldest = min(pool, key=counts.__getitem__)
+                hottest = max(counts[block] for block in candidates)
+                if hottest - counts[coldest] < self.delta:
                     return
                 erases_before, copies_before = self.host.swl_cost_probe()
                 recycled = self.host.recycle_block_range(
@@ -150,15 +214,456 @@ class DualPoolLeveler:
                 self.stats.swl_erases += erases_after - erases_before
                 self.stats.swl_copies += copies_after - copies_before
                 if not recycled:
-                    # The coldest block was free: the host promoted it into
-                    # the rotation; wear will catch up without an erase.
-                    return
+                    # The coldest block was free: the host promoted it
+                    # into the rotation without an erase.  That is not a
+                    # swap, but it must not abort the whole batch either —
+                    # exclude this block for the rest of the check and
+                    # try the next-coldest candidate.
+                    excluded.add(coldest)
+                    continue
                 self.stats.swaps += 1
+                swaps += 1
         finally:
             self._in_procedure = False
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Freeze the leveler's trigger phase, retirements, and counters.
+
+        The erase-count array itself belongs to the chip and rides in the
+        chip's snapshot; this mechanism shares the live list, which the
+        chip restores in place.  Snapshots are taken at request
+        boundaries, so no procedure is in flight and no suspension held.
+        """
+        return {
+            "kind": "dual-pool",
+            "delta": self.delta,
+            "check_period": self.check_period,
+            "batch": self.batch,
+            "num_blocks": len(self.erase_counts),
+            "erases_since_check": self._erases_since_check,
+            "deferred": self._deferred,
+            "retired": sorted(self._retired),
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`; rejects config mismatches."""
+        if state.get("kind") != "dual-pool":
+            raise ValueError(
+                f"leveler snapshot kind {state.get('kind')!r} does not "
+                f"match 'dual-pool'"
+            )
+        for field_name in ("delta", "check_period", "batch"):
+            if state[field_name] != getattr(self, field_name):
+                raise ValueError(
+                    f"leveler snapshot {field_name}={state[field_name]} "
+                    f"does not match {getattr(self, field_name)}"
+                )
+        if state["num_blocks"] != len(self.erase_counts):
+            raise ValueError(
+                f"leveler snapshot covers {state['num_blocks']} blocks, "
+                f"leveler tracks {len(self.erase_counts)}"
+            )
+        self._erases_since_check = int(state["erases_since_check"])  # type: ignore[arg-type]
+        self._deferred = bool(state["deferred"])
+        self._retired = set(state["retired"])  # type: ignore[arg-type]
+        stats = state["stats"]
+        assert isinstance(stats, dict)
+        self.stats = DualPoolStats(
+            checks=stats["checks"],
+            swaps=stats["swaps"],
+            swl_erases=stats["swl_erases"],
+            swl_copies=stats["swl_copies"],
+        )
+        self._suspended = 0
+        self._in_procedure = False
 
     def __repr__(self) -> str:
         return (
             f"DualPoolLeveler(delta={self.delta}, "
             f"period={self.check_period}, ram={self.ram_bytes}B)"
+        )
+
+
+@dataclass
+class CacheAvoidStats:
+    """Activity counters of the cache-based wear-avoidance front-end."""
+
+    hits: int = 0              #: rewrites absorbed by the cache
+    misses: int = 0            #: first-seen writes inserted into the cache
+    evictions: int = 0         #: LRU victims flushed to flash
+    read_hits: int = 0         #: reads served from dirty cached pages
+    resident: int = 0          #: dirty pages currently held in the cache
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_read_hits": self.read_hits,
+            "cache_resident": self.resident,
+        }
+
+
+class CacheAvoidLeveler:
+    """Cache-based wear *avoidance* (Boukhobza-style write cache).
+
+    Instead of moving cold data once wear skews, this mechanism prevents
+    the wear: an LRU write-back cache of ``cache_pages`` logical pages in
+    controller RAM absorbs rewrites of hot pages, so only LRU victims
+    (and never-rewritten pages) reach flash at all.  It sits *on* the
+    host write path — ``intercepts_writes`` — and the storage stack
+    routes writes through :meth:`host_write` (reads through
+    :meth:`host_read`, because a dirty cached page's flash copy is
+    stale).
+
+    The trade-offs the arena surfaces: controller RAM of a full page
+    buffer per slot (``cache_pages * (page_size + 4)`` bytes — orders of
+    magnitude above any leveler's bookkeeping), and the dirty cached
+    pages are volatile, so a power loss forfeits them (wear avoidance
+    buys endurance at a crash-durability cost the BET never pays).
+    Erase-count feedback is not used; ``on_block_erased`` is a no-op.
+    """
+
+    supports_coordination = False
+    intercepts_writes = True
+    _request_driven = False
+
+    def __init__(
+        self,
+        *,
+        cache_pages: int = 64,
+        page_size: int = 2048,
+    ) -> None:
+        if cache_pages <= 0:
+            raise ValueError(f"cache_pages must be positive, got {cache_pages}")
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.capacity = cache_pages
+        self.page_size = page_size
+        #: Insertion-ordered dict as the LRU set: oldest first, MRU last.
+        self._cache: dict[int, None] = {}
+        self.stats = CacheAvoidStats()
+        self._suspended = 0
+        self._in_procedure = False
+        self.clock = RequestClock()
+
+    # ------------------------------------------------------------------
+    # Driver-boundary surface (mirrors SWLeveler)
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Mechanism label for backend names, e.g. ``CACHE+64p``."""
+        return f"CACHE+{self.capacity}p"
+
+    @property
+    def ram_bytes(self) -> int:
+        """Controller RAM: a page buffer plus a 4-byte tag per slot."""
+        return self.capacity * (self.page_size + 4)
+
+    def on_block_erased(self, block: int) -> None:
+        """No erase-count feedback in this mechanism."""
+
+    def on_block_retired(self, block: int) -> None:
+        """Physical retirement does not touch the logical-page cache."""
+
+    def on_request(self, now: float | None = None) -> None:
+        clock = self.clock
+        clock.requests += 1
+        if now is not None:
+            clock.now = now
+
+    def suspend(self) -> None:
+        self._suspended += 1
+
+    def resume(self) -> None:
+        if self._suspended <= 0:
+            raise RuntimeError("resume() without a matching suspend()")
+        self._suspended -= 1
+
+    # ------------------------------------------------------------------
+    # Write-path interception (the mechanism itself)
+    # ------------------------------------------------------------------
+    def host_write(self, layer: WearLevelingHost, lpn: int) -> None:
+        """Absorb one host page write, flushing an LRU victim if full.
+
+        A rewrite of a cached page is a pure hit: no flash program
+        happens at all (that is the avoided wear).  A first-seen page
+        occupies a slot; once the cache is full, each insertion flushes
+        the least-recently-written page to flash, so flash sees exactly
+        ``misses - resident`` of the host's writes.
+        """
+        cache = self._cache
+        if lpn in cache:
+            del cache[lpn]
+            cache[lpn] = None
+            self.stats.hits += 1
+            return
+        self.stats.misses += 1
+        cache[lpn] = None
+        if len(cache) > self.capacity:
+            victim = next(iter(cache))
+            del cache[victim]
+            self.stats.evictions += 1
+            layer.write(victim)  # type: ignore[attr-defined]
+        self.stats.resident = len(cache)
+
+    def host_read(self, layer: WearLevelingHost, lpn: int) -> None:
+        """Serve one host page read, preferring the dirty cached copy."""
+        if lpn in self._cache:
+            self.stats.read_hits += 1
+            return
+        layer.read(lpn)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Freeze the cache contents (in LRU order) and the counters."""
+        return {
+            "kind": "cache-avoid",
+            "capacity": self.capacity,
+            "page_size": self.page_size,
+            "cache": list(self._cache),
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`; rejects config mismatches."""
+        if state.get("kind") != "cache-avoid":
+            raise ValueError(
+                f"leveler snapshot kind {state.get('kind')!r} does not "
+                f"match 'cache-avoid'"
+            )
+        if state["capacity"] != self.capacity:
+            raise ValueError(
+                f"leveler snapshot capacity {state['capacity']} does not "
+                f"match {self.capacity}"
+            )
+        self._cache = {int(lpn): None for lpn in state["cache"]}  # type: ignore[union-attr]
+        stats = state["stats"]
+        assert isinstance(stats, dict)
+        self.stats = CacheAvoidStats(
+            hits=stats["cache_hits"],
+            misses=stats["cache_misses"],
+            evictions=stats["cache_evictions"],
+            read_hits=stats["cache_read_hits"],
+            resident=stats["cache_resident"],
+        )
+        self._suspended = 0
+        self._in_procedure = False
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheAvoidLeveler(capacity={self.capacity}, "
+            f"resident={len(self._cache)}, ram={self.ram_bytes}B)"
+        )
+
+
+@dataclass
+class SoftWearStats:
+    """Activity counters of the software-only cyclic scrubber."""
+
+    scrubs: int = 0            #: scheduled scrub passes performed
+    moves: int = 0             #: blocks actually recycled (held data)
+    skipped_free: int = 0      #: scrubbed blocks that were free already
+    swl_erases: int = 0        #: erases attributable to scrubbing
+    swl_copies: int = 0        #: copies attributable to scrubbing
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "scrubs": self.scrubs,
+            "moves": self.moves,
+            "skipped_free": self.skipped_free,
+            "swl_erases": self.swl_erases,
+            "swl_copies": self.swl_copies,
+        }
+
+
+class SoftWearLeveler:
+    """Software-only static wear leveling (SoftWear-style).
+
+    The mechanism a host-side driver can run with *no* wear feedback
+    from the device: no erase counters, no BET — every
+    ``period_requests`` host requests it force-recycles the next
+    ``span_blocks`` physical blocks of a cyclic cursor, so over one full
+    revolution every block (cold data included) has been rewritten once.
+    Controller RAM is O(1): the cursor and the request counter.
+
+    The arena measures what that blindness costs: scrubbing is oblivious
+    to actual wear, so it pays forced erases even on perfectly even
+    devices, and its leveling lag is bounded by the revolution time
+    (``num_blocks / span_blocks`` periods) rather than by a threshold.
+    """
+
+    supports_coordination = False
+    intercepts_writes = False
+    _request_driven = True
+
+    def __init__(
+        self,
+        num_blocks: int,
+        host: WearLevelingHost,
+        *,
+        period_requests: int = 256,
+        span_blocks: int = 1,
+    ) -> None:
+        if num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+        if period_requests <= 0:
+            raise ValueError(
+                f"period_requests must be positive, got {period_requests}"
+            )
+        if span_blocks <= 0:
+            raise ValueError(f"span_blocks must be positive, got {span_blocks}")
+        self.num_blocks = num_blocks
+        self.host = host
+        self.period_requests = period_requests
+        self.span_blocks = span_blocks
+        self.cursor = 0
+        self.stats = SoftWearStats()
+        self.clock = RequestClock()
+        self._suspended = 0
+        self._deferred = False
+        self._in_procedure = False
+        #: Bucket 0 covers requests [0, n): never scrub an idle device.
+        self._last_bucket = 0
+        self._retired: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Driver-boundary surface (mirrors SWLeveler)
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Mechanism label, e.g. ``SOFTWEAR+n=256+s=1``."""
+        return f"SOFTWEAR+n={self.period_requests}+s={self.span_blocks}"
+
+    @property
+    def ram_bytes(self) -> int:
+        """Controller RAM: the cyclic cursor and the request counter."""
+        return 8
+
+    def on_block_erased(self, block: int) -> None:
+        """Software-only: the mechanism cannot observe device erases."""
+
+    def on_block_retired(self, block: int) -> None:
+        """Skip a grown-bad block on every future cursor pass."""
+        self._retired.add(block)
+
+    def on_request(self, now: float | None = None) -> None:
+        clock = self.clock
+        clock.requests += 1
+        if now is not None:
+            clock.now = now
+        if not self._in_procedure:
+            self._request_tick()
+
+    def _request_tick(self) -> None:
+        """Scrub once per ``period_requests`` bucket of host requests."""
+        bucket = self.clock.requests // self.period_requests
+        if bucket == self._last_bucket:
+            return
+        self._last_bucket = bucket
+        if self._suspended:
+            self._deferred = True
+            return
+        self._scrub()
+
+    def suspend(self) -> None:
+        self._suspended += 1
+
+    def resume(self) -> None:
+        if self._suspended <= 0:
+            raise RuntimeError("resume() without a matching suspend()")
+        self._suspended -= 1
+        if self._suspended == 0 and self._deferred:
+            self._deferred = False
+            self._scrub()
+
+    # ------------------------------------------------------------------
+    def _scrub(self) -> None:
+        """Force-recycle the next ``span_blocks`` live blocks at the cursor."""
+        self._in_procedure = True
+        try:
+            remaining = self.span_blocks
+            visited = 0
+            while remaining > 0 and visited < self.num_blocks:
+                block = self.cursor
+                self.cursor = (self.cursor + 1) % self.num_blocks
+                visited += 1
+                if block in self._retired:
+                    continue
+                erases_before, copies_before = self.host.swl_cost_probe()
+                recycled = self.host.recycle_block_range(
+                    range(block, block + 1)
+                )
+                erases_after, copies_after = self.host.swl_cost_probe()
+                self.stats.swl_erases += erases_after - erases_before
+                self.stats.swl_copies += copies_after - copies_before
+                if recycled:
+                    self.stats.moves += 1
+                else:
+                    self.stats.skipped_free += 1
+                remaining -= 1
+            self.stats.scrubs += 1
+        finally:
+            self._in_procedure = False
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Freeze the cursor, trigger bucket, clock, and counters."""
+        return {
+            "kind": "softwear",
+            "period_requests": self.period_requests,
+            "span_blocks": self.span_blocks,
+            "num_blocks": self.num_blocks,
+            "cursor": self.cursor,
+            "last_bucket": self._last_bucket,
+            "deferred": self._deferred,
+            "retired": sorted(self._retired),
+            "requests_seen": self.clock.requests,
+            "now": self.clock.now,
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`; rejects config mismatches."""
+        if state.get("kind") != "softwear":
+            raise ValueError(
+                f"leveler snapshot kind {state.get('kind')!r} does not "
+                f"match 'softwear'"
+            )
+        for field_name in ("period_requests", "span_blocks", "num_blocks"):
+            if state[field_name] != getattr(self, field_name):
+                raise ValueError(
+                    f"leveler snapshot {field_name}={state[field_name]} "
+                    f"does not match {getattr(self, field_name)}"
+                )
+        self.cursor = int(state["cursor"])  # type: ignore[arg-type]
+        self._last_bucket = int(state["last_bucket"])  # type: ignore[arg-type]
+        self._deferred = bool(state["deferred"])
+        self._retired = set(state["retired"])  # type: ignore[arg-type]
+        self.clock.requests = int(state["requests_seen"])  # type: ignore[arg-type]
+        self.clock.now = float(state["now"])  # type: ignore[arg-type]
+        stats = state["stats"]
+        assert isinstance(stats, dict)
+        self.stats = SoftWearStats(
+            scrubs=stats["scrubs"],
+            moves=stats["moves"],
+            skipped_free=stats["skipped_free"],
+            swl_erases=stats["swl_erases"],
+            swl_copies=stats["swl_copies"],
+        )
+        self._suspended = 0
+        self._in_procedure = False
+
+    def __repr__(self) -> str:
+        return (
+            f"SoftWearLeveler(period={self.period_requests}, "
+            f"span={self.span_blocks}, cursor={self.cursor})"
         )

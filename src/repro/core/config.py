@@ -12,11 +12,9 @@ from dataclasses import dataclass
 
 from repro.core.leveler import SWLeveler, WearLevelingHost
 from repro.core.policies import (
-    EveryNRequestsTrigger,
-    OnEraseTrigger,
-    PeriodicTrigger,
     TriggerPolicy,
     make_selection_policy,
+    make_trigger_policy,
 )
 
 #: The sweeps of paper Section 5 (Figures 5-7, Table 4).
@@ -64,13 +62,7 @@ class SWLConfig:
         return f"SWL+k={self.k}+T={int(self.threshold)}"
 
     def _make_trigger(self) -> TriggerPolicy:
-        if self.trigger == "on-erase":
-            return OnEraseTrigger()
-        if self.trigger == "every-n-requests":
-            return EveryNRequestsTrigger(int(self.trigger_param))
-        if self.trigger == "periodic":
-            return PeriodicTrigger(self.trigger_param)
-        raise ValueError(f"unknown trigger policy {self.trigger!r}")
+        return make_trigger_policy(self.trigger, self.trigger_param)
 
     def build(
         self,

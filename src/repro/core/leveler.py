@@ -67,6 +67,55 @@ class WearLevelingHost(Protocol):
         ...
 
 
+class WearLeveler(Protocol):
+    """The driver-boundary surface every wear-leveling mechanism presents.
+
+    :class:`SWLeveler` (the paper's design) and every challenger in
+    :mod:`repro.core.alternatives` implement this protocol, so the
+    translation layers, the device array, the checkpoint machinery, and
+    the policy arena can drive any mechanism interchangeably — the
+    pluggability :class:`~repro.core.policies.LevelerSpec` builds on.
+
+    Two class-level capability flags steer the wiring:
+
+    ``supports_coordination``
+        ``True`` only for BET-carrying levelers a
+        :class:`~repro.array.coordinator.WearCoordinator` can read.
+    ``intercepts_writes``
+        ``True`` for mechanisms that sit *on* the host write path (the
+        cache-based wear avoider); the backend then routes host I/O
+        through ``host_write``/``host_read`` instead of calling the
+        translation layer directly.
+    """
+
+    supports_coordination: bool
+    intercepts_writes: bool
+
+    @property
+    def label(self) -> str:
+        """Mechanism label composed into backend names."""
+        ...
+
+    @property
+    def ram_bytes(self) -> int:
+        """Controller RAM footprint of the mechanism's bookkeeping."""
+        ...
+
+    def on_block_erased(self, block: int) -> None: ...
+
+    def on_block_retired(self, block: int) -> None: ...
+
+    def on_request(self, now: float | None = None) -> None: ...
+
+    def suspend(self) -> None: ...
+
+    def resume(self) -> None: ...
+
+    def snapshot_state(self) -> dict[str, object]: ...
+
+    def restore_state(self, state: dict[str, object]) -> None: ...
+
+
 #: ``findex_history`` length bound.  When recording would grow past it,
 #: every other retained entry is dropped and the recording stride doubles
 #: — the same decimation idiom as the engine's ``WearSample`` timeline —
@@ -160,6 +209,14 @@ class SWLeveler:
         Randomness source for the post-reset ``findex`` re-seed
         (Algorithm 1, step 6); seeded deterministically when omitted.
     """
+
+    #: The BET exposes per-set unevenness to an array-level
+    #: :class:`~repro.array.coordinator.WearCoordinator`; counter-free
+    #: challengers (see :mod:`repro.core.alternatives`) set this False.
+    supports_coordination = True
+    #: This mechanism never sits on the host write path (contrast the
+    #: cache-avoidance challenger, which does).
+    intercepts_writes = False
 
     def __init__(
         self,
@@ -293,6 +350,21 @@ class SWLeveler:
     def retired_flags(self) -> frozenset[int]:
         """Flag indices permanently excluded from selection."""
         return frozenset(self._retired_flags)
+
+    @property
+    def label(self) -> str:
+        """Mechanism label for backend names, e.g. ``SWL+k=0+T=100``."""
+        return f"SWL+k={self.bet.k}+T={int(self.threshold)}"
+
+    @property
+    def ram_bytes(self) -> int:
+        """Controller RAM of the mechanism: the BET, one bit per set.
+
+        The paper's Table 1 quantity — ``ceil(size(BET) / 8)`` bytes for
+        ``ceil(num_blocks / 2^k)`` flags (``ecnt``/``fcnt``/``findex``
+        are O(1) registers on every mechanism and excluded throughout).
+        """
+        return (self.bet.size + 7) // 8
 
     @property
     def trigger(self) -> TriggerPolicy:
@@ -485,6 +557,15 @@ class SWLeveler:
             "bet_resets": self.bet.resets,
             "findex": self.findex,
             "rng": rng_state_to_json(self.rng),
+            # Policy identity + internal cursors: a resumed
+            # EveryNRequestsTrigger._last_bucket / PeriodicTrigger
+            # ._next_check left at its construction value would re-fire
+            # (or skip) checks the uninterrupted run would not.
+            "selection": self.selection.name,
+            "trigger": {
+                "kind": self._trigger.name,
+                "state": self._trigger.snapshot_state(),
+            },
             "retired_flags": sorted(self._retired_flags),
             "deferred_check": self._deferred_check,
             "deferred_at_ecnt": self._deferred_at_ecnt,
@@ -521,6 +602,19 @@ class SWLeveler:
                 f"k={self.bet.k})"
             )
         bet.resets = state["bet_resets"]  # type: ignore[assignment]
+        if state["selection"] != self.selection.name:
+            raise ValueError(
+                f"leveler snapshot selection policy {state['selection']!r} "
+                f"does not match {self.selection.name!r}"
+            )
+        trigger_state = state["trigger"]  # type: ignore[assignment]
+        if trigger_state["kind"] != self._trigger.name:  # type: ignore[index]
+            raise ValueError(
+                f"leveler snapshot trigger policy "
+                f"{trigger_state['kind']!r} does not match "  # type: ignore[index]
+                f"{self._trigger.name!r}"
+            )
+        self._trigger.restore_state(trigger_state["state"])  # type: ignore[index]
         self.bet = bet
         self.findex = state["findex"]  # type: ignore[assignment]
         self.rng.setstate(rng_state_from_json(state["rng"]))  # type: ignore[arg-type]

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.config import SWLConfig
+from repro.core.policies import LevelerSpec
 from repro.fault.crashsim import CrashConsistencyHarness, CrashSweepReport
 from repro.fault.injector import FaultInjector
 from repro.fault.plan import FaultPlan
@@ -84,7 +85,7 @@ class FaultCampaignResult:
 def run_fault_campaign(
     geometry: FlashGeometry,
     driver: str = "ftl",
-    swl: SWLConfig | None = None,
+    swl: "SWLConfig | LevelerSpec | None" = None,
     *,
     plan: FaultPlan | None = None,
     seed: int = 0,

@@ -186,7 +186,14 @@ class CrashConsistencyHarness:
                 device_full = True
                 break
             acked[lpn] = payload
-            if leveler is not None and count % self.persist_every == 0:
+            # Only the BET-carrying SW Leveler persists state to the
+            # media (dual-buffer BetStore); challenger mechanisms hold
+            # RAM-only bookkeeping and reboot blank by design.
+            if (
+                leveler is not None
+                and hasattr(leveler, "persist")
+                and count % self.persist_every == 0
+            ):
                 leveler.persist(store)
 
         verdict = CrashVerdict(
@@ -228,7 +235,8 @@ class CrashConsistencyHarness:
                 self.geometry.num_blocks, layer, rng=make_rng(self.seed + 1)
             )
             layer.attach_leveler(leveler)
-            restored = leveler.restore(store)
+            if hasattr(leveler, "restore"):
+                restored = leveler.restore(store)
         stack.layer = layer
         stack.leveler = leveler
         return layer, leveler, restored, recovered
@@ -259,8 +267,8 @@ class CrashConsistencyHarness:
             except AssertionError as exc:
                 violations.append(f"internal consistency: {exc}")
 
-        # 3. Restored BET self-consistency.
-        if leveler is not None:
+        # 3. Restored BET self-consistency (BET-carrying levelers only).
+        if leveler is not None and hasattr(leveler, "bet"):
             bet = leveler.bet
             if bet._flags.popcount() != bet.fcnt:
                 violations.append(

@@ -22,7 +22,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
-from repro.core.leveler import SWLeveler
+from repro.core.leveler import WearLeveler
 from repro.flash.chip import PAGE_VALID
 from repro.flash.errors import TransientEraseError, TranslationError
 from repro.flash.mtd import MtdDevice
@@ -152,7 +152,7 @@ class TranslationLayer(ABC):
         #: (their live data may still need draining).
         self._failed_blocks: set[int] = set()
         self.stats = LayerStats()
-        self.leveler: SWLeveler | None = None
+        self.leveler: WearLeveler | None = None
         self._obs: "BusLike | None" = None
 
     def attach_bus(self, bus: "BusLike | None") -> None:
@@ -308,7 +308,7 @@ class TranslationLayer(ABC):
     # ------------------------------------------------------------------
     # SW Leveler integration (paper Figure 1)
     # ------------------------------------------------------------------
-    def attach_leveler(self, leveler: SWLeveler) -> None:
+    def attach_leveler(self, leveler: WearLeveler) -> None:
         """Wire a SW Leveler into the Cleaner's erase path.
 
         Every block erase — whether from normal garbage collection or the

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 from repro.core.config import SWLConfig
-from repro.core.leveler import SWLeveler
+from repro.core.leveler import WearLeveler
+from repro.core.policies import LevelerSpec
 from repro.flash.chip import FirstFailure, NandFlash
 from repro.flash.errors import PowerLossError
 from repro.flash.geometry import FlashGeometry
@@ -156,13 +157,23 @@ class StorageStack:
     flash: NandFlash
     mtd: MtdDevice
     layer: TranslationLayer
-    leveler: SWLeveler | None
+    leveler: WearLeveler | None
+
+    def __post_init__(self) -> None:
+        # Resolved once: the hot write/read paths branch on a local, not
+        # on a per-call getattr.  Only write-intercepting mechanisms (the
+        # cache-based wear avoider) make this non-None.
+        self._intercept = (
+            self.leveler
+            if getattr(self.leveler, "intercepts_writes", False)
+            else None
+        )
 
     @property
     def name(self) -> str:
         label = self.layer.name
         if self.leveler is not None:
-            label += f"+SWL+k={self.leveler.bet.k}+T={int(self.leveler.threshold)}"
+            label += f"+{self.leveler.label}"
         return label
 
     # ------------------------------------------------------------------
@@ -181,12 +192,23 @@ class StorageStack:
         return self.layer.num_logical_pages
 
     def write_pages(self, lpns: Sequence[int]) -> int:
-        """Write each logical page in order; returns the pages written."""
+        """Write each logical page in order; returns the pages written.
+
+        A write-intercepting leveler (``intercepts_writes``) sits between
+        the host and the translation layer: each page goes through its
+        ``host_write``, which decides whether flash is touched at all.
+        """
         done = 0
+        intercept = self._intercept
         try:
-            for lpn in lpns:
-                self.layer.write(lpn)
-                done += 1
+            if intercept is None:
+                for lpn in lpns:
+                    self.layer.write(lpn)
+                    done += 1
+            else:
+                for lpn in lpns:
+                    intercept.host_write(self.layer, lpn)
+                    done += 1
         except PowerLossError as exc:
             _count_power_loss_pages(exc, done)
             raise
@@ -195,10 +217,16 @@ class StorageStack:
     def read_pages(self, lpns: Sequence[int]) -> int:
         """Read each logical page in order; returns the pages read."""
         done = 0
+        intercept = self._intercept
         try:
-            for lpn in lpns:
-                self.layer.read(lpn)
-                done += 1
+            if intercept is None:
+                for lpn in lpns:
+                    self.layer.read(lpn)
+                    done += 1
+            else:
+                for lpn in lpns:
+                    intercept.host_read(self.layer, lpn)
+                    done += 1
         except PowerLossError as exc:
             _count_power_loss_pages(exc, done)
             raise
@@ -337,7 +365,7 @@ class StorageStack:
 def build_stack(
     geometry: FlashGeometry,
     driver: str = "ftl",
-    swl: SWLConfig | None = None,
+    swl: SWLConfig | LevelerSpec | None = None,
     *,
     op_ratio: float = DEFAULT_OP_RATIO,
     gc_free_fraction: float = GC_FREE_FRACTION,
@@ -357,8 +385,10 @@ def build_stack(
     driver:
         ``"ftl"`` or ``"nftl"``.
     swl:
-        SW Leveler configuration; ``None`` or a disabled config yields the
-        paper's baseline system.
+        Wear-leveling configuration — an :class:`SWLConfig` (the paper's
+        SW Leveler) or a :class:`~repro.core.policies.LevelerSpec`
+        naming any registered mechanism; ``None`` or a disabled config
+        yields the paper's baseline system.
     alloc_policy:
         Free-block allocation order (see :mod:`repro.ftl.allocator`).
     store_data:
@@ -402,7 +432,9 @@ def build_stack(
         # events once a source covers their shard (repro.obs.bus).
         bus.register_hot_source(flash)
         layer.attach_bus(bus)
-        if leveler is not None:
+        if leveler is not None and hasattr(leveler, "attach_bus"):
+            # Only the paper's SW Leveler emits telemetry; challengers
+            # run silent.
             leveler.attach_bus(bus)
         if injector is not None:
             injector.attach_bus(bus)
@@ -412,7 +444,7 @@ def build_stack(
 def build_backend(
     geometry: FlashGeometry,
     driver: str = "ftl",
-    swl: SWLConfig | None = None,
+    swl: SWLConfig | LevelerSpec | None = None,
     *,
     channels: int = 1,
     striping: str = "page",

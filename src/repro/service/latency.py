@@ -83,9 +83,10 @@ class LatencyHistogram:
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile by interpolating within buckets.
 
-        The top of the distribution is clamped to the exact observed
-        maximum, so p100 (and any quantile landing in the final occupied
-        bucket) never exceeds a latency that actually happened.
+        The estimate is clamped to the exact observed ``[min, max]``, so
+        p0 and p100 (and any quantile landing in the first or final
+        occupied bucket) never leave the range of latencies that actually
+        happened.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
@@ -94,17 +95,20 @@ class LatencyHistogram:
         rank = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
-            if cumulative + bucket_count >= rank:
-                if bucket_count == 0:
-                    continue
+            if bucket_count and cumulative + bucket_count >= rank:
+                # An empty bucket never satisfies the rank: when the rank
+                # was met exactly at the previous bucket's boundary, the
+                # samples that meet it live in this, the *next occupied*
+                # bucket — interpolating from an empty one would take the
+                # wrong bucket's edges with a non-positive fraction.
                 lower = LATENCY_BUCKET_BOUNDS[index - 1] if index else 0.0
                 if index < len(LATENCY_BUCKET_BOUNDS):
                     upper = LATENCY_BUCKET_BOUNDS[index]
                 else:
                     upper = self.maximum  # overflow slot: exact ceiling
-                fraction = (rank - cumulative) / bucket_count
+                fraction = max(0.0, (rank - cumulative) / bucket_count)
                 estimate = lower + (upper - lower) * fraction
-                return min(estimate, self.maximum)
+                return min(max(estimate, self.minimum), self.maximum)
             cumulative += bucket_count
         return self.maximum
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.core.config import SWLConfig
+from repro.core.policies import LevelerSpec
 from repro.flash.geometry import CellType, FlashGeometry
 from repro.ftl.base import DEFAULT_OP_RATIO
 from repro.ftl.factory import StorageBackend, build_backend
@@ -115,7 +116,9 @@ class ExperimentSpec:
 
     driver: str
     geometry: FlashGeometry
-    swl: SWLConfig | None = None
+    #: Wear-leveling mechanism: an :class:`SWLConfig` (the paper's SW
+    #: Leveler) or any :class:`~repro.core.policies.LevelerSpec` kind.
+    swl: SWLConfig | LevelerSpec | None = None
     op_ratio: float = DEFAULT_OP_RATIO
     alloc_policy: str = "lifo"
     seed: int = 0

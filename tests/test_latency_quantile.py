@@ -1,0 +1,102 @@
+"""Property tests: histogram quantiles versus a sorted-sample oracle.
+
+:meth:`LatencyHistogram.quantile` interpolates within geometric buckets
+(eight per decade), so its estimate may differ from the exact sorted
+sample — but never by more than one bucket's width (a factor of
+``10^(1/8)``), and it must be monotone in ``q``.  These are the two laws
+the bugfix in this PR restored at the bucket-boundary rank (a rank met
+exactly at a boundary used to interpolate from the wrong, empty bucket).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service.latency import LATENCY_BUCKET_BOUNDS, LatencyHistogram
+
+#: One geometric bucket's width: upper bound over lower bound.
+BUCKET_WIDTH = 10.0 ** (1.0 / 8.0)
+
+samples_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=9e3, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+def oracle_quantile(samples: list[float], q: float) -> float:
+    """Exact q-quantile at the histogram's rank convention.
+
+    The histogram walks buckets until the cumulative count reaches
+    ``rank = q * n``; the matching order statistic is the ``ceil(rank)``-th
+    smallest sample (1-indexed), i.e. the first one whose cumulative
+    count meets the rank.
+    """
+    ordered = sorted(samples)
+    rank = q * len(ordered)
+    index = max(0, math.ceil(rank) - 1)
+    return ordered[min(index, len(ordered) - 1)]
+
+
+@settings(max_examples=80, deadline=None)
+@given(samples=samples_strategy, q=st.floats(0.0, 1.0))
+def test_estimate_within_one_bucket_of_oracle(samples, q):
+    hist = LatencyHistogram()
+    for sample in samples:
+        hist.observe(sample)
+    estimate = hist.quantile(q)
+    oracle = oracle_quantile(samples, q)
+    # Same bucket => the two differ by at most one bucket width.
+    assert estimate <= oracle * BUCKET_WIDTH * (1 + 1e-9)
+    assert estimate * BUCKET_WIDTH * (1 + 1e-9) >= oracle
+
+
+@settings(max_examples=80, deadline=None)
+@given(samples=samples_strategy, qs=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=12))
+def test_estimate_is_monotone_in_q(samples, qs):
+    hist = LatencyHistogram()
+    for sample in samples:
+        hist.observe(sample)
+    estimates = [hist.quantile(q) for q in sorted(qs)]
+    assert all(a <= b for a, b in zip(estimates, estimates[1:]))
+
+
+@settings(max_examples=80, deadline=None)
+@given(samples=samples_strategy)
+def test_extremes_are_exact(samples):
+    """p0 and p100 clamp to the observed min and max exactly."""
+    hist = LatencyHistogram()
+    for sample in samples:
+        hist.observe(sample)
+    assert hist.quantile(0.0) == min(samples)
+    assert hist.quantile(1.0) == max(samples)
+
+
+def test_boundary_rank_takes_the_next_occupied_bucket():
+    """Regression: a rank met exactly at a bucket boundary.
+
+    Two samples in bucket A, two in a later bucket B: the median rank
+    (q=0.5 -> rank 2) is satisfied exactly by bucket A's cumulative
+    count.  The estimate must stay inside A (at or below its upper
+    bound), not interpolate backwards from an empty bucket or overshoot
+    into B.
+    """
+    hist = LatencyHistogram()
+    low, high = 2e-6, 5e-3
+    for sample in (low, low, high, high):
+        hist.observe(sample)
+    estimate = hist.quantile(0.5)
+    assert estimate <= low * BUCKET_WIDTH
+    assert estimate >= low / BUCKET_WIDTH
+    # And just past the boundary the estimate jumps toward bucket B.
+    assert hist.quantile(0.9) > estimate
+    assert hist.quantile(0.9) <= high
+
+
+def test_bounds_are_eight_per_decade():
+    assert len(LATENCY_BUCKET_BOUNDS) == 81
+    ratio = LATENCY_BUCKET_BOUNDS[1] / LATENCY_BUCKET_BOUNDS[0]
+    assert ratio == pytest.approx(BUCKET_WIDTH)

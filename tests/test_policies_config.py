@@ -14,13 +14,22 @@ from repro.core.config import (
     SWLConfig,
     paper_sweep,
 )
+from repro.core.alternatives import (
+    CacheAvoidLeveler,
+    DualPoolLeveler,
+    SoftWearLeveler,
+)
+from repro.core.leveler import SWLeveler
 from repro.core.policies import (
     EveryNRequestsTrigger,
+    LevelerSpec,
     OnEraseTrigger,
     PeriodicTrigger,
     RandomSelection,
     SequentialSelection,
+    leveler_kinds,
     make_selection_policy,
+    make_trigger_policy,
 )
 
 
@@ -63,6 +72,18 @@ class TestRandomSelection:
         seen = {policy.select(bet, 0, rng) for _ in range(200)}
         assert seen == set(range(8))
 
+    def test_seeded_determinism(self):
+        """Same seed, same BET: the pick sequence replays exactly."""
+        def picks():
+            bet = BlockErasingTable(32)
+            for block in range(10):
+                bet.record_erase(block)
+            policy = RandomSelection()
+            rng = random.Random(7)
+            return [policy.select(bet, 0, rng) for _ in range(50)]
+
+        assert picks() == picks()
+
 
 class TestSelectionFactory:
     def test_known_names(self):
@@ -101,6 +122,53 @@ class TestTriggers:
     def test_periodic_requires_positive(self):
         with pytest.raises(ValueError):
             PeriodicTrigger(0.0)
+
+    def test_every_n_first_request_is_bucket_zero(self):
+        """Bucket 0 fires on the very first request, not after ``n``.
+
+        The cursor starts at -1, so the first evaluation (requests=0,
+        bucket 0) counts as a fresh bucket — the leveler gets one check
+        at startup and then exactly one per ``n`` requests.
+        """
+        trigger = EveryNRequestsTrigger(100)
+        assert trigger.should_check(erases=0, requests=0, now=0.0)
+        assert not trigger.should_check(erases=0, requests=50, now=0.0)
+        assert not trigger.should_check(erases=0, requests=99, now=0.0)
+        assert trigger.should_check(erases=0, requests=100, now=0.0)
+
+    def test_periodic_fires_once_per_period_under_jitter(self):
+        """N periods with jittered arrivals -> exactly N checks.
+
+        The fixed grid is the point of the bugfix: a late check must not
+        push the next one to ``now + period`` (which would drift the
+        rate below ``1/period`` forever), and multiple arrivals inside
+        one period must still yield one check.
+        """
+        rng = random.Random(2)
+        trigger = PeriodicTrigger(10.0)
+        fires = 0
+        periods = 50
+        for index in range(periods):
+            arrivals = sorted(
+                index * 10.0 + rng.uniform(0.0, 10.0) for _ in range(3)
+            )
+            for now in arrivals:
+                fires += trigger.should_check(erases=0, requests=0, now=now)
+        assert fires == periods
+
+    def test_periodic_skips_missed_grid_points_without_burst(self):
+        """A long gap yields one late check, not a catch-up burst."""
+        trigger = PeriodicTrigger(10.0)
+        assert trigger.should_check(erases=0, requests=0, now=0.0)
+        # Five grid points pass silently; the next arrival checks once...
+        assert trigger.should_check(erases=0, requests=0, now=57.0)
+        assert not trigger.should_check(erases=0, requests=0, now=58.0)
+        # ...and the grid stays anchored at multiples of the period.
+        assert trigger.should_check(erases=0, requests=0, now=60.0)
+
+    def test_trigger_factory_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown trigger"):
+            make_trigger_policy("lunar", 1.0)
 
 
 class TestSWLConfig:
@@ -166,3 +234,120 @@ class TestPaperSweep:
     def test_paper_constants(self):
         assert PAPER_THRESHOLDS == (100, 400, 700, 1000)
         assert PAPER_K_VALUES == (0, 1, 2, 3)
+
+
+# ----------------------------------------------------------------------
+# The leveler registry (LevelerSpec)
+# ----------------------------------------------------------------------
+class _RegistryHost:
+    """Minimal WearLevelingHost with the mtd the dual-pool kind needs."""
+
+    class _Mtd:
+        def __init__(self, num_blocks):
+            self.erase_counts = [0] * num_blocks
+
+    class _Geometry:
+        page_size = 4096
+
+    def __init__(self, num_blocks=16):
+        self.mtd = self._Mtd(num_blocks)
+        self.geometry = self._Geometry()
+
+    def recycle_block_range(self, blocks):
+        return 0
+
+    def swl_cost_probe(self):
+        return (0, 0)
+
+
+class TestLevelerSpec:
+    def test_registered_kinds(self):
+        assert leveler_kinds() == [
+            "cache-avoid", "dual-pool", "softwear", "swl"
+        ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown leveler kind"):
+            LevelerSpec(kind="quantum")
+
+    def test_builds_each_mechanism(self):
+        host = _RegistryHost()
+        built = {
+            kind: LevelerSpec(kind=kind).build(16, host)
+            for kind in leveler_kinds()
+        }
+        assert isinstance(built["swl"], SWLeveler)
+        assert isinstance(built["dual-pool"], DualPoolLeveler)
+        assert isinstance(built["cache-avoid"], CacheAvoidLeveler)
+        assert isinstance(built["softwear"], SoftWearLeveler)
+
+    def test_disabled_builds_none(self):
+        assert LevelerSpec(enabled=False).build(16, _RegistryHost()) is None
+
+    def test_labels(self):
+        assert LevelerSpec(kind="swl", threshold=400, k=2).label() == (
+            "SWL+k=2+T=400"
+        )
+        assert LevelerSpec(kind="dual-pool", delta=8).label() == "DP+d=8+p=64"
+        assert LevelerSpec(kind="cache-avoid").label() == "CACHE+64p"
+        assert LevelerSpec(kind="softwear").label() == "SOFTWEAR+n=256+s=1"
+        assert LevelerSpec(enabled=False).label() == "baseline"
+
+    def test_swl_label_matches_swlconfig(self):
+        spec = LevelerSpec(kind="swl", threshold=100, k=2)
+        assert spec.label() == SWLConfig(threshold=100, k=2).label()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "swl", "threshold": 0},
+            {"kind": "swl", "k": -1},
+            {"kind": "dual-pool", "delta": 0},
+            {"kind": "dual-pool", "check_period": 0},
+            {"kind": "dual-pool", "batch": 0},
+            {"kind": "cache-avoid", "cache_pages": 0},
+            {"kind": "softwear", "period_requests": 0},
+            {"kind": "softwear", "span_blocks": 0},
+        ],
+    )
+    def test_knob_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LevelerSpec(**kwargs)
+
+    def test_disabled_skips_knob_validation(self):
+        assert LevelerSpec(enabled=False, threshold=-1).label() == "baseline"
+
+    def test_swl_kind_wires_policies_through(self):
+        host = _RegistryHost()
+        leveler = LevelerSpec(
+            kind="swl",
+            threshold=50,
+            k=1,
+            selection="random",
+            trigger="every-n-requests",
+            trigger_param=32,
+        ).build(16, host)
+        assert leveler.threshold == 50
+        assert leveler.bet.k == 1
+        assert isinstance(leveler.selection, RandomSelection)
+        assert isinstance(leveler._trigger, EveryNRequestsTrigger)
+        assert leveler._trigger.n == 32
+
+    def test_cache_avoid_reads_page_size_from_host(self):
+        leveler = LevelerSpec(kind="cache-avoid", cache_pages=8).build(
+            16, _RegistryHost()
+        )
+        assert leveler.page_size == 4096
+        assert leveler.ram_bytes == 8 * (4096 + 4)
+
+    def test_dual_pool_shares_the_host_counters(self):
+        host = _RegistryHost(num_blocks=12)
+        leveler = LevelerSpec(kind="dual-pool").build(12, host)
+        assert leveler.erase_counts is host.mtd.erase_counts
+
+    def test_spec_is_hashable_and_picklable(self):
+        import pickle
+
+        spec = LevelerSpec(kind="softwear", period_requests=64)
+        assert hash(spec) == hash(LevelerSpec(kind="softwear", period_requests=64))
+        assert pickle.loads(pickle.dumps(spec)) == spec
